@@ -1,0 +1,63 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one artefact of the paper (a table, a
+figure's behaviour, or a claim attached to a listing) — see the experiment
+index in DESIGN.md.  Results that correspond to paper-reported rows/series are
+printed with the ``report()`` helper so that ``pytest benchmarks/
+--benchmark-only -s`` shows them alongside the timing numbers, and are also
+attached to ``benchmark.extra_info`` so they land in the JSON output.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+
+import pytest
+
+from repro.netproto.server import DatabaseServer
+from repro.sqldb.database import Database
+from repro.workloads.udf_corpus import demo_server, setup_classifier_database
+
+
+def report(title: str, rows: list[dict] | list[tuple] | dict) -> None:
+    """Print a small table of the regenerated numbers (the paper-facing output)."""
+    print(f"\n=== {title} ===")
+    if isinstance(rows, dict):
+        for key, value in rows.items():
+            print(f"  {key}: {value}")
+        return
+    for row in rows:
+        print(f"  {row}")
+
+
+@pytest.fixture(scope="session")
+def quiet_stdout():
+    """Factory: run a callable while suppressing server-side UDF prints."""
+    def runner(callable_, *args, **kwargs):
+        with contextlib.redirect_stdout(io.StringIO()):
+            return callable_(*args, **kwargs)
+
+    return runner
+
+
+@pytest.fixture(scope="module")
+def demo_environment(tmp_path_factory):
+    """A demo server with the buggy mean_deviation and the CSV workload."""
+    csv_dir = tmp_path_factory.mktemp("bench_csv")
+    server, setup = demo_server(str(csv_dir), buggy_mean_deviation=True,
+                                with_extras=True, n_files=5, rows_per_file=200)
+    return server, setup
+
+
+@pytest.fixture(scope="module")
+def classifier_server():
+    """A server with the Listing 1/3 classifier tables and UDFs."""
+    database = Database(name="demo")
+    setup_classifier_database(database, n_rows=80, seed=3)
+    return DatabaseServer(database)
+
+
+@pytest.fixture()
+def bench_tmp_project(tmp_path):
+    return tmp_path / "bench_project"

@@ -1,0 +1,38 @@
+"""F1 — Figure 1: the PyCharm main menu with the "UDF Development" submenu.
+
+The figure is a screenshot; the reproducible behaviour is the plugin's menu
+contribution: a new main-menu entry containing exactly the three actions
+(Settings, Import UDFs, Export UDFs), each of which is invokable.  The
+benchmark times a full plugin installation into a fresh IDE menu.
+"""
+
+from conftest import report
+
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.ide.actions import MainMenu
+from repro.netproto.server import DatabaseServer
+
+
+def test_menu_contribution(benchmark, tmp_path):
+    server = DatabaseServer()
+    project = DevUDFProject(tmp_path / "menu_project")
+    settings = DevUDFSettings()
+
+    def install_plugin() -> MainMenu:
+        menu = MainMenu()
+        DevUDFPlugin(project, settings, server=server, menu=menu)
+        return menu
+
+    menu = benchmark(install_plugin)
+
+    group = menu.menu(DevUDFPlugin.SUBMENU_LABEL)
+    report("Figure 1: menu tree after plugin installation", {"tree": "\n" + group.tree()})
+
+    assert DevUDFPlugin.SUBMENU_LABEL in menu.labels()
+    assert group.action_labels() == ["Settings", "Import UDFs", "Export UDFs"]
+    # the standard IDE menus are still there (the plugin only adds, never removes)
+    for standard in ("File", "Edit", "Tools", "Run", "VCS"):
+        assert standard in menu.labels()
+    benchmark.extra_info["actions"] = group.action_labels()

@@ -1,0 +1,98 @@
+"""L3 — Listing 3: the nested classifier UDF, in-database and debugged locally.
+
+Regenerates the behaviour of the paper's nested-UDF example: the outer
+``find_best_classifier`` sweeps the estimator count through loopback queries
+that call ``train_rnforest``; devUDF imports the pair, extracts both UDFs'
+inputs, and executes the whole call tree locally.  The benchmark reports the
+in-database result, the local result, and the cost of each path; the shape
+that must hold is *equality of the chosen model and its score*.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+
+DEBUG_QUERY = "SELECT * FROM find_best_classifier(3)"
+
+
+def test_in_database_nested_execution(benchmark, classifier_server):
+    database = classifier_server.database
+
+    def run_in_database():
+        return database.execute(DEBUG_QUERY).fetchone()
+
+    row = benchmark(run_in_database)
+    report("Listing 3 (in-database)", {
+        "best_n_estimators": row[1],
+        "correct_predictions": row[2],
+        "train_rnforest_invocations":
+            database.udf_runtime.invocation_counts.get("train_rnforest", 0),
+    })
+    assert 1 <= row[1] <= 3
+    assert row[2] > 0
+
+
+def test_local_debug_of_nested_udf_matches_server(benchmark, classifier_server, tmp_path):
+    settings = DevUDFSettings(debug_query=DEBUG_QUERY)
+    project = DevUDFProject(tmp_path / "nested_bench")
+    plugin = DevUDFPlugin(project, settings, server=classifier_server)
+    try:
+        plugin.import_udfs(["find_best_classifier"])
+        preparation = plugin.prepare_debug("find_best_classifier")
+
+        def run_locally():
+            return plugin.run_udf_locally(preparation=preparation)
+
+        local = benchmark(run_locally)
+        server_row = classifier_server.database.execute(DEBUG_QUERY).fetchone()
+
+        report("Listing 3 (devUDF local run vs server)", {
+            "local_best_n_estimators": local.result["n_estimators"],
+            "server_best_n_estimators": server_row[1],
+            "local_correct": local.result["correct"],
+            "server_correct": server_row[2],
+            "loopback_datasets_transferred": len(preparation.inputs.loopback),
+            "rows_transferred": preparation.inputs.rows_extracted,
+            "input_bin_bytes": preparation.blob_stats.stored_bytes,
+        })
+        assert local.completed
+        assert local.result["n_estimators"] == server_row[1]
+        assert local.result["correct"] == server_row[2]
+        assert len(preparation.inputs.loopback) == 2  # trainingset + testingset
+    finally:
+        plugin.close()
+
+
+def test_breakpoint_inside_nested_udf(benchmark, classifier_server, tmp_path):
+    """Stepping into the nested UDF: one breakpoint hit per estimator value."""
+    settings = DevUDFSettings(debug_query=DEBUG_QUERY)
+    project = DevUDFProject(tmp_path / "nested_bp_bench")
+    plugin = DevUDFPlugin(project, settings, server=classifier_server)
+    try:
+        preparation = plugin.prepare_debug("find_best_classifier")
+        source = project.udf_source("find_best_classifier")
+        line = next(number for number, text in enumerate(source.splitlines(), 1)
+                    if "clf.fit(data, classes)" in text)
+
+        def debug_with_breakpoint():
+            return plugin.debug_udf(preparation=preparation, breakpoints=[line])
+
+        outcome = benchmark.pedantic(debug_with_breakpoint, rounds=1, iterations=1)
+        report("Listing 3 (breakpoint inside the nested UDF)", {
+            "breakpoint_line": line,
+            "breakpoint_hits": len(outcome.breakpoint_stops),
+            "functions_stopped_in":
+                sorted({stop.function for stop in outcome.breakpoint_stops}),
+        })
+        assert len(outcome.breakpoint_stops) == 3
+        assert all(stop.function == "train_rnforest" for stop in outcome.breakpoint_stops)
+    finally:
+        plugin.close()
+
+
+@pytest.fixture(scope="module")
+def tmp_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("listing3_bench")

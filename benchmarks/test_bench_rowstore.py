@@ -1,0 +1,104 @@
+"""C5 — §2.4 "Extending to Other Databases": operator-at-a-time vs
+tuple-at-a-time UDF execution.
+
+MonetDB calls a Python UDF once with whole columns; row stores call it once
+per tuple ("simulated by issuing a loop over the input tuples").  The sweep
+shows the shape that motivates MonetDB's model: identical results, but the
+per-row model pays one interpreter/UDF invocation per tuple, so its cost grows
+linearly with the row count while the columnar model stays nearly flat.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.rowstore import ProcessingModelSimulator, results_equivalent
+from repro.sqldb.database import Database
+
+ROW_COUNTS = [100, 1_000, 5_000]
+
+
+@pytest.fixture(scope="module")
+def simulator_environment():
+    database = Database()
+    database.execute("CREATE TABLE measurements (i INTEGER, x DOUBLE)")
+    table = database.storage.table("measurements")
+    for index in range(max(ROW_COUNTS)):
+        table.insert_row([index, index * 0.1])
+    database.execute("CREATE FUNCTION weighted(i INTEGER, x DOUBLE) RETURNS DOUBLE "
+                     "LANGUAGE PYTHON { return i * x + 1.0 }")
+    # per-size prefix tables so the sweep isolates the row count
+    for rows in ROW_COUNTS:
+        database.execute(f"CREATE TABLE measurements_{rows} AS "
+                         f"SELECT * FROM measurements LIMIT {rows}")
+    return ProcessingModelSimulator(database)
+
+
+@pytest.fixture(scope="module")
+def results_table():
+    rows: list[dict] = []
+    yield rows
+    report("C5: processing-model comparison", rows)
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+def test_operator_at_a_time(benchmark, simulator_environment, results_table, rows):
+    simulator = simulator_environment
+
+    def run():
+        return simulator.run_operator_at_a_time("weighted", f"measurements_{rows}",
+                                                ["i", "x"])
+
+    result = benchmark(run)
+    results_table.append({
+        "model": result.model, "rows": rows,
+        "udf_invocations": result.invocations,
+        "invocations_per_row": result.invocations_per_row,
+    })
+    assert result.invocations == 1
+    assert len(result.values) == rows
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+def test_tuple_at_a_time(benchmark, simulator_environment, results_table, rows):
+    simulator = simulator_environment
+
+    def run():
+        return simulator.run_tuple_at_a_time("weighted", f"measurements_{rows}",
+                                             ["i", "x"])
+
+    result = benchmark(run)
+    results_table.append({
+        "model": result.model, "rows": rows,
+        "udf_invocations": result.invocations,
+        "invocations_per_row": result.invocations_per_row,
+    })
+    assert result.invocations == rows
+
+
+def test_models_agree_and_overhead_shape(benchmark, simulator_environment):
+    simulator = simulator_environment
+    rows_small, rows_large = ROW_COUNTS[0], ROW_COUNTS[-1]
+
+    def compare_both_sizes():
+        return (simulator.compare("weighted", f"measurements_{rows_small}", ["i", "x"]),
+                simulator.compare("weighted", f"measurements_{rows_large}", ["i", "x"]))
+
+    small, large = benchmark.pedantic(compare_both_sizes, rounds=1, iterations=1)
+
+    # identical results under both processing models (the §2.4 requirement)
+    assert results_equivalent(small["operator-at-a-time"], small["tuple-at-a-time"])
+    assert results_equivalent(large["operator-at-a-time"], large["tuple-at-a-time"])
+
+    # the overhead shape: per-tuple invocation count grows linearly with rows,
+    # columnar invocation count does not grow at all
+    assert large["tuple-at-a-time"].invocations == rows_large
+    assert large["operator-at-a-time"].invocations == 1
+    slowdown_small = (small["tuple-at-a-time"].elapsed_seconds
+                      / max(small["operator-at-a-time"].elapsed_seconds, 1e-9))
+    slowdown_large = (large["tuple-at-a-time"].elapsed_seconds
+                      / max(large["operator-at-a-time"].elapsed_seconds, 1e-9))
+    report("C5: tuple-at-a-time slowdown factor", {
+        f"{rows_small} rows": round(slowdown_small, 1),
+        f"{rows_large} rows": round(slowdown_large, 1),
+    })
+    assert slowdown_large > 1.0

@@ -1,0 +1,89 @@
+"""L4/A — Scenario A: the buggy mean_deviation (Listing 4).
+
+Regenerates the demo's first scenario: the buggy UDF produces a wrong value,
+the interactive debugger exposes the negative accumulator, the fix restores
+the reference value.  The benchmark reports the wrong/correct values and times
+the debug session that locates the bug.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.debugger import DebugSession
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.netproto.server import DatabaseServer
+from repro.workloads.scenarios import ScenarioA
+
+
+@pytest.fixture(scope="module")
+def scenario_environment(tmp_path_factory):
+    base = tmp_path_factory.mktemp("scenario_a_bench")
+    scenario = ScenarioA(base / "csv", n_files=5, rows_per_file=100)
+    server = DatabaseServer()
+    scenario.setup(server)
+    return scenario, server, base
+
+
+def test_buggy_vs_reference_value(benchmark, scenario_environment):
+    scenario, server, _ = scenario_environment
+
+    def run_buggy_udf():
+        return server.database.execute(scenario.debug_query).scalar()
+
+    wrong = benchmark(run_buggy_udf)
+    reference = scenario.reference_value()
+    report("Scenario A: buggy UDF vs reference", {
+        "buggy_result": wrong,
+        "reference_mean_deviation": reference,
+        "absolute_error": abs(wrong - reference),
+    })
+    # the signed deviations cancel: the buggy UDF returns ~0, far from the truth
+    assert abs(wrong) < 1e-6
+    assert reference > 1.0
+
+
+def test_debugger_locates_the_bug(benchmark, scenario_environment):
+    scenario, server, base = scenario_environment
+    settings = DevUDFSettings(debug_query=scenario.debug_query)
+    plugin = DevUDFPlugin(DevUDFProject(base / "project"), settings, server=server)
+    try:
+        preparation = plugin.prepare_debug(scenario.udf_name)
+        source = plugin.project.udf_source(scenario.udf_name)
+        breakpoints = scenario.debugger_breakpoints(source)
+        watches = scenario.debugger_watches()
+
+        def debug_session():
+            return DebugSession(preparation.script_path, breakpoints=breakpoints,
+                                watches=watches,
+                                working_directory=preparation.script_path.parent).run()
+
+        outcome = benchmark.pedantic(debug_session, rounds=1, iterations=1)
+        first_negative = next(
+            (stop for stop in outcome.stops
+             if isinstance(stop.watches.get("distance"), (int, float))
+             and stop.watches["distance"] < 0), None)
+        report("Scenario A: what the debugger shows", {
+            "breakpoint_hits": len(outcome.breakpoint_stops),
+            "rows_in_debug_input": preparation.inputs.rows_extracted,
+            "first_negative_distance":
+                None if first_negative is None else first_negative.watches["distance"],
+            "bug_visible": scenario.bug_visible_in_debugger(outcome),
+        })
+        assert scenario.bug_visible_in_debugger(outcome)
+    finally:
+        plugin.close()
+
+
+def test_fix_restores_reference(benchmark, scenario_environment):
+    scenario, server, _ = scenario_environment
+
+    def apply_fix_and_rerun():
+        server.database.execute(scenario.fixed_create_sql())
+        return server.database.execute(scenario.debug_query).scalar()
+
+    fixed = benchmark(apply_fix_and_rerun)
+    reference = scenario.reference_value()
+    report("Scenario A: after the fix", {"fixed_result": fixed, "reference": reference})
+    assert fixed == pytest.approx(reference, rel=1e-9)

@@ -1,0 +1,94 @@
+"""L5/B — Scenario B: the buggy data loader (Listing 5).
+
+Regenerates the demo's second scenario: the correct mean_deviation UDF over a
+loader that silently drops the last CSV file.  The benchmark reports rows
+loaded by the buggy vs fixed loader, the resulting statistic drift, and how the
+debugger's watch expressions expose the off-by-one.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.debugger import DebugSession
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.netproto.server import DatabaseServer
+from repro.workloads.scenarios import ScenarioB
+
+
+@pytest.fixture(scope="module")
+def scenario_environment(tmp_path_factory):
+    base = tmp_path_factory.mktemp("scenario_b_bench")
+    scenario = ScenarioB(base / "csv", n_files=6, rows_per_file=50)
+    server = DatabaseServer()
+    scenario.setup(server)
+    return scenario, server, base
+
+
+def test_buggy_loader_row_count(benchmark, scenario_environment):
+    scenario, server, _ = scenario_environment
+
+    def load_with_buggy_loader():
+        return server.database.execute(scenario.debug_query).row_count
+
+    loaded = benchmark(load_with_buggy_loader)
+    workload = scenario.workload
+    deviation_full = workload.mean_deviation()
+    deviation_buggy = workload.mean_deviation_excluding_last_file()
+    report("Scenario B: buggy loader effect", {
+        "csv_files": len(workload.files),
+        "rows_in_directory": workload.total_rows,
+        "rows_loaded_by_buggy_loader": loaded,
+        "mean_deviation_full_data": deviation_full,
+        "mean_deviation_over_buggy_load": deviation_buggy,
+    })
+    assert loaded == workload.rows_excluding_last_file
+    assert loaded < workload.total_rows
+    assert deviation_full != pytest.approx(deviation_buggy, abs=1e-9)
+
+
+def test_debugger_exposes_off_by_one(benchmark, scenario_environment):
+    scenario, server, base = scenario_environment
+    settings = DevUDFSettings(debug_query=scenario.debug_query)
+    plugin = DevUDFPlugin(DevUDFProject(base / "project"), settings, server=server)
+    try:
+        preparation = plugin.prepare_debug(scenario.udf_name)
+        source = plugin.project.udf_source(scenario.udf_name)
+        breakpoints = scenario.debugger_breakpoints(source)
+        watches = scenario.debugger_watches()
+
+        def debug_session():
+            return DebugSession(preparation.script_path, breakpoints=breakpoints,
+                                watches=watches,
+                                working_directory=preparation.script_path.parent).run()
+
+        outcome = benchmark.pedantic(debug_session, rounds=1, iterations=1)
+        indexes = [stop.watches.get("current_index") for stop in outcome.stops
+                   if isinstance(stop.watches.get("current_index"), int)]
+        files_found = next((stop.watches.get("files_found") for stop in outcome.stops
+                            if isinstance(stop.watches.get("files_found"), int)), None)
+        report("Scenario B: what the debugger shows", {
+            "files_found": files_found,
+            "max_loop_index_reached": max(indexes) if indexes else None,
+            "bug_visible": scenario.bug_visible_in_debugger(outcome),
+        })
+        assert scenario.bug_visible_in_debugger(outcome)
+        assert files_found is not None and max(indexes) == files_found - 2
+    finally:
+        plugin.close()
+
+
+def test_fixed_loader_reads_all_files(benchmark, scenario_environment):
+    scenario, server, _ = scenario_environment
+
+    def fix_and_reload():
+        server.database.execute(scenario.fixed_create_sql())
+        return server.database.execute(scenario.debug_query).row_count
+
+    loaded = benchmark(fix_and_reload)
+    report("Scenario B: after the fix", {
+        "rows_loaded": loaded,
+        "rows_in_directory": scenario.workload.total_rows,
+    })
+    assert loaded == scenario.workload.total_rows

@@ -1,0 +1,33 @@
+"""T1 — Table 1: most popular development environments.
+
+The table is static survey data (the paper's reference [2]); the benchmark
+regenerates its rows and the derived statistic the argument rests on (IDE
+share vs text-editor share) and times the (trivial) computation so the harness
+has a stable baseline entry.
+"""
+
+from conftest import report
+
+from repro.core.surveys import ide_vs_text_editor_share, pycharm_rank, table_rows
+
+
+def test_table1_rows_and_derived_shares(benchmark):
+    rows = benchmark(table_rows)
+    shares = ide_vs_text_editor_share()
+
+    report("Table 1: Most Popular Development Environments",
+           [{"name": name, "market_share": share, "type": kind}
+            for name, share, kind in rows])
+    report("Derived shares (the paper's argument)", shares)
+
+    # identical to the paper: 12 rows, IDEs dominate text editors, PyCharm is
+    # the least popular environment the table lists.
+    assert len(rows) == 12
+    assert rows[0] == ("Eclipse", 25.2, "IDE")
+    assert shares["IDE"] == 77.7
+    assert shares["Text Editor"] == 14.5
+    assert shares["IDE"] > 5 * shares["Text Editor"]
+    assert pycharm_rank() == 12
+
+    benchmark.extra_info["ide_share"] = shares["IDE"]
+    benchmark.extra_info["text_editor_share"] = shares["Text Editor"]

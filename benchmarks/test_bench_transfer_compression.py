@@ -1,0 +1,94 @@
+"""C1 — §2.1 claim: "compressing the data during the transfer, leading to
+faster transfer times".
+
+Sweeps data sizes and codecs, measuring real bytes-on-the-wire through the
+client protocol and the serialisation/compression time.  The shape that must
+hold: compression shrinks the transfer substantially on the demo-style data,
+and the saving grows with the data size; at realistic network bandwidths the
+end-to-end (compress + transfer) time therefore drops.
+"""
+
+import pytest
+from conftest import report
+
+from repro.netproto.client import Connection, TransferOptions
+from repro.netproto.compression import CODEC_NONE, CODEC_RLE, CODEC_ZLIB
+from repro.netproto.server import DatabaseServer
+from repro.sqldb.database import Database
+
+#: Simulated link bandwidths (bytes/second) used to convert bytes saved into
+#: transfer-time saved (the paper's claim is about transfer times).
+BANDWIDTHS = {"10 Mbit/s": 1.25e6, "100 Mbit/s": 12.5e6}
+
+ROW_COUNTS = [1_000, 10_000]
+
+
+@pytest.fixture(scope="module")
+def transfer_server():
+    database = Database()
+    database.execute("CREATE TABLE readings (i INTEGER, station STRING, value DOUBLE)")
+    table = database.storage.table("readings")
+    for index in range(max(ROW_COUNTS)):
+        table.insert_row([index % 100, f"station_{index % 7}", (index % 100) * 0.25])
+    return DatabaseServer(database)
+
+
+@pytest.fixture(scope="module")
+def results_table():
+    rows: list[dict] = []
+    yield rows
+    report("C1: bytes on the wire and estimated transfer times", rows)
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+@pytest.mark.parametrize("codec", [CODEC_NONE, CODEC_ZLIB, CODEC_RLE])
+def test_compression_sweep(benchmark, transfer_server, results_table, rows, codec):
+    connection = Connection.connect_in_process(transfer_server)
+    options = TransferOptions(compression=codec)
+    sql = f"SELECT * FROM readings WHERE i >= 0 LIMIT {rows}"
+
+    def query_with_codec():
+        return connection.execute(sql, options=options)
+
+    result = benchmark(query_with_codec)
+    transfer = connection.stats.last_transfer
+    entry = {
+        "rows": rows,
+        "codec": codec,
+        "raw_bytes": transfer.raw_bytes,
+        "wire_bytes": transfer.wire_bytes,
+        "compression_ratio": round(transfer.compression_ratio, 2),
+    }
+    for label, bandwidth in BANDWIDTHS.items():
+        entry[f"transfer_s @{label}"] = round(transfer.wire_bytes / bandwidth, 4)
+    results_table.append(entry)
+    benchmark.extra_info.update(entry)
+
+    assert result.row_count == rows
+    if codec == CODEC_ZLIB:
+        # the paper's claim: compressed transfers are much smaller
+        assert transfer.wire_bytes < transfer.raw_bytes / 3
+    if codec == CODEC_NONE:
+        assert transfer.wire_bytes >= transfer.raw_bytes
+    connection.close()
+
+
+def test_compression_benefit_grows_with_size(benchmark, transfer_server):
+    """The crossover shape: the absolute saving grows with the result size."""
+    connection = Connection.connect_in_process(transfer_server)
+
+    def measure_savings():
+        savings = []
+        for rows in ROW_COUNTS:
+            sql = f"SELECT * FROM readings LIMIT {rows}"
+            connection.execute(sql, options=TransferOptions(compression=CODEC_NONE))
+            plain = connection.stats.last_transfer.wire_bytes
+            connection.execute(sql, options=TransferOptions(compression=CODEC_ZLIB))
+            compressed = connection.stats.last_transfer.wire_bytes
+            savings.append(plain - compressed)
+        return savings
+
+    savings = benchmark.pedantic(measure_savings, rounds=1, iterations=1)
+    report("C1: absolute bytes saved by zlib", dict(zip(ROW_COUNTS, savings)))
+    assert savings[-1] > savings[0] > 0
+    connection.close()

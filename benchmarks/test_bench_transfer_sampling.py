@@ -1,0 +1,113 @@
+"""C2 — §2.1 claim: debugging on "a uniform random sample of the input data
+... will alleviate the data transfer overhead".
+
+Sweeps the sample fraction on the Scenario A extraction path: the server-side
+extract function samples before the data leaves the server, so both the rows
+and the bytes on the wire shrink roughly linearly with the fraction — and the
+sampled debug run must still expose the Scenario A bug.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.debugger import DebugSession
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.netproto.server import DatabaseServer
+from repro.workloads.scenarios import ScenarioA
+
+FRACTIONS = [1.0, 0.5, 0.1, 0.01]
+
+
+@pytest.fixture(scope="module")
+def environment(tmp_path_factory):
+    base = tmp_path_factory.mktemp("sampling_bench")
+    scenario = ScenarioA(base / "csv", n_files=5, rows_per_file=2_000)
+    server = DatabaseServer()
+    scenario.setup(server)
+    settings = DevUDFSettings(debug_query=scenario.debug_query)
+    plugin = DevUDFPlugin(DevUDFProject(base / "project"), settings, server=server)
+    plugin.import_udfs([scenario.udf_name])
+    yield scenario, plugin
+    plugin.close()
+
+
+@pytest.fixture(scope="module")
+def results_table():
+    rows: list[dict] = []
+    yield rows
+    report("C2: extraction cost vs sample fraction", rows)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_sampling_sweep(benchmark, environment, results_table, fraction):
+    scenario, plugin = environment
+    if fraction >= 1.0:
+        plugin.configure(use_sampling=False, sample_fraction=None, sample_size=None)
+    else:
+        plugin.configure(use_sampling=True, sample_fraction=fraction, sample_size=None)
+
+    def extract_inputs():
+        return plugin.prepare_debug(scenario.udf_name)
+
+    preparation = benchmark(extract_inputs)
+    total_rows = scenario.workload.total_rows
+    entry = {
+        "fraction": fraction,
+        "rows_extracted": preparation.inputs.rows_extracted,
+        "wire_bytes": preparation.inputs.wire_bytes,
+        "input_bin_bytes": preparation.blob_stats.stored_bytes,
+    }
+    results_table.append(entry)
+    benchmark.extra_info.update(entry)
+
+    expected = total_rows if fraction >= 1.0 else round(total_rows * fraction)
+    assert preparation.inputs.rows_extracted == pytest.approx(expected, abs=1)
+
+
+def test_rows_and_bytes_scale_with_fraction(benchmark, environment):
+    """The series shape: bytes transferred track the sample fraction."""
+    scenario, plugin = environment
+
+    def measure():
+        measurements = {}
+        for fraction in FRACTIONS:
+            if fraction >= 1.0:
+                plugin.configure(use_sampling=False, sample_fraction=None,
+                                 sample_size=None)
+            else:
+                plugin.configure(use_sampling=True, sample_fraction=fraction,
+                                 sample_size=None)
+            preparation = plugin.prepare_debug(scenario.udf_name)
+            measurements[fraction] = preparation.blob_stats.stored_bytes
+        return measurements
+
+    measurements = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("C2: input.bin bytes per sample fraction", measurements)
+    assert measurements[0.01] < measurements[0.1] < measurements[0.5] < measurements[1.0]
+    # a 10% sample is roughly an order of magnitude smaller than the full input
+    assert measurements[0.1] < measurements[1.0] / 5
+
+
+def test_sampled_debug_run_still_exposes_the_bug(benchmark, environment):
+    scenario, plugin = environment
+    plugin.configure(use_sampling=True, sample_fraction=0.1, sample_size=None)
+    preparation = plugin.prepare_debug(scenario.udf_name)
+    source = plugin.project.udf_source(scenario.udf_name)
+
+    def sampled_debug_session():
+        return DebugSession(
+            preparation.script_path,
+            breakpoints=scenario.debugger_breakpoints(source),
+            watches=scenario.debugger_watches(),
+            working_directory=preparation.script_path.parent,
+        ).run()
+
+    outcome = benchmark.pedantic(sampled_debug_session, rounds=1, iterations=1)
+    visible = scenario.bug_visible_in_debugger(outcome)
+    report("C2: bug visibility on a 10% sample", {
+        "rows_in_sample": preparation.inputs.rows_extracted,
+        "bug_visible": visible,
+    })
+    assert visible

@@ -1,0 +1,83 @@
+"""C4 — the headline claim (§1, §3): devUDF makes UDF development
+"more attractive, faster and easier".
+
+The paper never quantifies this; the reproduction operationalises it by
+driving both workflows programmatically over the two demo scenarios and
+reporting developer iterations, full query executions, UDF re-creations
+(manual code transformations), server round trips, and a modelled developer
+time.  The shape that must hold: devUDF needs no manual code transformations,
+strictly fewer full query executions and UDF re-creations, and comes out ahead
+on the modelled time for both scenarios.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.workflow import compare_workflows
+from repro.workloads.scenarios import make_scenario_a, make_scenario_b
+
+SCENARIOS = {
+    "scenario_a": make_scenario_a,
+    "scenario_b": make_scenario_b,
+}
+
+
+@pytest.fixture(scope="module")
+def results_table():
+    rows: list[dict] = []
+    yield rows
+    report("C4: traditional vs devUDF workflow", rows)
+
+
+@pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+def test_workflow_comparison(benchmark, quiet_stdout, results_table, tmp_path,
+                             scenario_name):
+    factory_maker = SCENARIOS[scenario_name]
+
+    def run_comparison():
+        return quiet_stdout(
+            compare_workflows,
+            factory_maker(tmp_path / scenario_name, n_files=4, rows_per_file=50),
+            project_root=tmp_path / f"{scenario_name}_projects",
+        )
+
+    comparison = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    for metrics in (comparison.traditional, comparison.devudf):
+        results_table.append(metrics.as_row())
+    benchmark.extra_info["iteration_reduction"] = comparison.iteration_reduction
+    benchmark.extra_info["round_trip_reduction"] = comparison.round_trip_reduction
+
+    traditional, devudf = comparison.traditional, comparison.devudf
+    assert comparison.devudf_wins
+    assert traditional.bug_found and devudf.bug_found
+    assert traditional.final_result_correct and devudf.final_result_correct
+    # the shape of the efficiency claim
+    assert devudf.manual_transformations == 0 < traditional.manual_transformations
+    assert devudf.full_query_executions < traditional.full_query_executions
+    assert devudf.udf_recreations < traditional.udf_recreations
+    assert devudf.estimated_developer_seconds < traditional.estimated_developer_seconds
+
+
+def test_devudf_advantage_grows_with_data_size(benchmark, quiet_stdout, tmp_path):
+    """Ablation: with larger inputs the traditional workflow re-ships the full
+    query over and over, while devUDF extracts the input once (and can sample)."""
+    sizes = [50, 500]
+
+    def measure():
+        advantage = {}
+        for rows_per_file in sizes:
+            comparison = quiet_stdout(
+                compare_workflows,
+                make_scenario_a(tmp_path / f"size_{rows_per_file}", n_files=4,
+                                rows_per_file=rows_per_file),
+                project_root=tmp_path / f"size_{rows_per_file}_projects",
+            )
+            advantage[rows_per_file] = (
+                comparison.traditional.estimated_developer_seconds
+                - comparison.devudf.estimated_developer_seconds
+            )
+        return advantage
+
+    advantage = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("C4: modelled developer-time advantage (seconds) by data size", advantage)
+    assert all(value > 0 for value in advantage.values())

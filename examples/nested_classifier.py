@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Nested UDFs: debugging Listing 3's ``find_best_classifier`` locally.
+
+The paper's §2.3 example trains a random forest inside the database
+(``train_rnforest``, Listing 1), then a second UDF sweeps the number of
+estimators through loopback queries and keeps the best classifier
+(``find_best_classifier``, Listing 3).  Debugging that nested structure is the
+hardest case for UDF tooling: the outer UDF's loopback queries call the inner
+UDF with different parameters on every loop iteration.
+
+This example shows devUDF handling it end to end:
+
+1. the classifier tables and both UDFs are created in the database,
+2. the outer UDF is imported — the plugin detects the nested ``train_rnforest``
+   call and embeds the nested function in the same generated file,
+3. the input data of *both* UDFs is extracted in one debug preparation,
+4. the whole call tree runs locally, with a breakpoint inside the *nested* UDF,
+5. the local result matches the in-database result.
+
+Run with:  python examples/nested_classifier.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import DevUDFPlugin, DevUDFProject, DevUDFSettings
+from repro.netproto import DatabaseServer
+from repro.sqldb import Database
+from repro.workloads import setup_classifier_database
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="devudf_nested_"))
+    print(f"working directory: {workdir}\n")
+
+    # ------------------------------------------------------------------ #
+    # 1. database with training/testing sets and both UDFs (Listings 1 + 3)
+    # ------------------------------------------------------------------ #
+    database = Database(name="demo")
+    setup_classifier_database(database, n_rows=80, seed=3)
+    server = DatabaseServer(database)
+    print("tables:", database.table_names())
+    print("UDFs:", database.function_names(), "\n")
+
+    debug_query = "SELECT * FROM find_best_classifier(4)"
+    in_database = database.execute(debug_query)
+    row = in_database.fetchone()
+    print(f"in-database result: best n_estimators={row[1]} "
+          f"with {row[2]} correct predictions\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. import the outer UDF; the nested one comes along automatically
+    # ------------------------------------------------------------------ #
+    settings = DevUDFSettings(debug_query=debug_query)
+    project = DevUDFProject(workdir / "ide_project")
+    plugin = DevUDFPlugin(project, settings, server=server)
+    report = plugin.import_udfs(["find_best_classifier"])
+    imported = report.imported[0]
+    print(f"imported {imported.name}; nested UDFs embedded: {imported.nested_udfs}")
+
+    # ------------------------------------------------------------------ #
+    # 3. extract the inputs of the whole call tree
+    # ------------------------------------------------------------------ #
+    preparation = plugin.prepare_debug("find_best_classifier")
+    print(f"constant parameter: esttest = {preparation.inputs.parameters['esttest']}")
+    print("loopback data extracted for:")
+    for query in preparation.inputs.loopback:
+        rows = len(next(iter(preparation.inputs.loopback[query].values())))
+        print(f"  - {query!r}  ({rows} rows)")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 4. debug locally with a breakpoint inside the nested UDF
+    # ------------------------------------------------------------------ #
+    source = project.udf_source("find_best_classifier")
+    breakpoint_line = next(
+        number for number, line in enumerate(source.splitlines(), start=1)
+        if "clf.fit(data, classes)" in line
+    )
+    outcome = plugin.debug_udf(
+        preparation=preparation,
+        breakpoints=[breakpoint_line],
+        watches={"estimators_requested": "n"},
+    )
+    print(f"breakpoint inside the nested UDF hit {len(outcome.breakpoint_stops)} times "
+          "(once per estimator sweep iteration):")
+    for stop in outcome.breakpoint_stops:
+        print(f"  - {stop.function}() line {stop.line}, "
+              f"n_estimators={stop.watches.get('estimators_requested')}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 5. the locally-debugged run agrees with the in-database execution
+    # ------------------------------------------------------------------ #
+    local = plugin.run_udf_locally(preparation=preparation)
+    assert local.completed, f"local run failed: {local.exception_message}"
+    print(f"local result: best n_estimators={local.result['n_estimators']} "
+          f"with {local.result['correct']} correct predictions")
+    assert local.result["n_estimators"] == row[1]
+    assert local.result["correct"] == row[2]
+    print("\nnested example finished: the full UDF call tree was debugged locally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Quickstart: the full devUDF workflow on the paper's demo scenario.
+
+This walks through exactly what the demo (paper §2.5) shows:
+
+1. start a demo database server with CSV data and the *buggy* ``mean_deviation``
+   UDF of Listing 4 already stored in it,
+2. configure the plugin (the Settings dialog, Figure 2),
+3. import the UDF into an IDE project (Figure 3a) — the stored body is turned
+   into a runnable standalone file (Listing 1 -> Listing 2),
+4. extract the UDF's input data and debug it locally with breakpoints and
+   watch expressions — the moment the ``distance`` accumulator goes negative
+   the missing ``abs()`` is obvious,
+5. fix the function in the editor, verify it locally,
+6. export it back to the server (Figure 3b) and re-run the SQL query.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import DevUDFPlugin, DevUDFProject, DevUDFSettings
+from repro.workloads import demo_server
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="devudf_quickstart_"))
+    print(f"working directory: {workdir}\n")
+
+    # ------------------------------------------------------------------ #
+    # 1. the demo database server (MonetDB stand-in) with the buggy UDF
+    # ------------------------------------------------------------------ #
+    server, setup = demo_server(str(workdir / "csv"), buggy_mean_deviation=True,
+                                with_extras=True)
+    reference = setup.workload.mean_deviation()
+    print(f"demo data: {setup.workload.total_rows} integers in "
+          f"{len(setup.workload.files)} CSV files")
+    print(f"correct mean deviation (reference implementation): {reference:.4f}\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. configure the plugin (Figure 2)
+    # ------------------------------------------------------------------ #
+    settings = DevUDFSettings(
+        host="localhost", port=50000, database="demo",
+        username="monetdb", password="monetdb",
+        debug_query="SELECT mean_deviation(i) FROM numbers",
+    )
+    project = DevUDFProject(workdir / "ide_project")
+    plugin = DevUDFPlugin(project, settings, server=server)
+    print(f"plugin configured: {settings.describe()}")
+    print("menu contribution:",
+          [a.label for a in plugin.menu.menu(plugin.SUBMENU_LABEL).actions], "\n")
+
+    # the buggy UDF, as stored in the server, produces a wrong answer
+    wrong = plugin.execute_sql(settings.debug_query).scalar()
+    print(f"server result with the buggy UDF: {wrong:.4f}  (expected {reference:.4f})\n")
+
+    # ------------------------------------------------------------------ #
+    # 3. Import UDFs (Figure 3a)
+    # ------------------------------------------------------------------ #
+    report = plugin.import_udfs(["mean_deviation"])
+    udf_file = report.imported[0].relative_path
+    print(f"imported {report.imported_names} into {udf_file}")
+    print("the stored body was transformed into a runnable file (Listing 2 style)\n")
+
+    # ------------------------------------------------------------------ #
+    # 4. debug locally: extract inputs, set a breakpoint, watch `distance`
+    # ------------------------------------------------------------------ #
+    preparation = plugin.prepare_debug("mean_deviation")
+    print(f"input data extracted: {preparation.inputs.rows_extracted} rows "
+          f"({preparation.blob_stats.stored_bytes} bytes in input.bin)")
+    print(f"extraction query: {preparation.plan.extraction_query}\n")
+
+    source = project.udf_source("mean_deviation")
+    breakpoint_line = next(
+        number for number, line in enumerate(source.splitlines(), start=1)
+        if "distance += column[i] - mean" in line
+    )
+    outcome = plugin.debug_udf(
+        preparation=preparation,
+        breakpoints=[breakpoint_line],
+        watches={"distance": "distance", "mean": "mean"},
+    )
+    negative = next(
+        (stop for stop in outcome.stops
+         if isinstance(stop.watches.get("distance"), (int, float))
+         and stop.watches["distance"] < 0),
+        None,
+    )
+    print(f"debugger paused {len(outcome.stops)} times at line {breakpoint_line}")
+    if negative is not None:
+        print(f"bug found: the 'distance' accumulator became negative "
+              f"({negative.watches['distance']:.2f}) — a mean deviation can never be "
+              "negative, the absolute value is missing\n")
+
+    # ------------------------------------------------------------------ #
+    # 5. fix it in the editor and verify locally
+    # ------------------------------------------------------------------ #
+    buffer = project.open_udf("mean_deviation")
+    buffer.set_text(buffer.text.replace("distance += column[i] - mean",
+                                        "distance += abs(column[i] - mean)"))
+    buffer.save()
+    local = plugin.run_udf_locally(preparation=preparation)
+    print(f"local run after the fix: {local.result:.4f}  (reference {reference:.4f})")
+    project.commit("Fix mean_deviation: use the absolute difference")
+    print(f"change committed to version control "
+          f"({len(project.history())} commit(s) in the project)\n")
+
+    # ------------------------------------------------------------------ #
+    # 6. Export UDFs (Figure 3b) and re-run the query on the server
+    # ------------------------------------------------------------------ #
+    plugin.export_udfs(["mean_deviation"])
+    fixed = plugin.execute_sql(settings.debug_query).scalar()
+    print(f"server result with the exported fix: {fixed:.4f}")
+    assert abs(fixed - reference) < 1e-6, "exported UDF should match the reference"
+    print("\nquickstart finished: the UDF was developed, debugged and fixed "
+          "without leaving the IDE workflow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so that `pip install -e .` works in offline environments
+without the `wheel` package (legacy editable install path)."""
+from setuptools import setup
+
+setup()

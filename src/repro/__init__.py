@@ -1,0 +1,19 @@
+"""Reproduction of *devUDF: Increasing UDF development efficiency through IDE
+Integration* (EDBT 2019).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.core` — the devUDF plugin logic (import/export/transform/debug).
+* :mod:`repro.sqldb` — an embedded MonetDB-like column store with Python UDFs.
+* :mod:`repro.netproto` — the client protocol (JDBC stand-in) with
+  compression, encryption and sampling.
+* :mod:`repro.ide` — a scriptable PyCharm stand-in (project, actions, debugger UI).
+* :mod:`repro.ml` — a small random-forest implementation for the paper's
+  classifier example.
+* :mod:`repro.workloads` — demo data generators and the paper's buggy scenarios.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,344 @@
+"""The interactive debugger (the paper's central IDE feature).
+
+"IDEs are also attractive because they facilitate the usage of sophisticated
+interactive debugging techniques, such as stepping through the code line by
+line and pausing code execution.  However, these techniques cannot be used in
+conjunction with UDFs because the RDBMS must be in control of the code flow
+while the UDF is being executed." (§1)
+
+Because devUDF executes the transformed UDF *locally*, the IDE's debugger can
+attach.  The reproduction implements a scriptable interactive debugger on top
+of :mod:`bdb` (the machinery PyCharm's own pydevd builds on): breakpoints,
+step over / into / out, pause-and-inspect locals, watch expressions, and a
+recorded trace — everything the demo scenarios need to locate their bugs.
+"""
+
+from __future__ import annotations
+
+import bdb
+import contextlib
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import FrameType
+from typing import Any, Callable
+
+from ..errors import DebugSessionError
+
+#: Commands a controller may issue at a stop (subset of the pydevd/PyCharm set).
+STEP_INTO = "step"
+STEP_OVER = "next"
+STEP_OUT = "return"
+CONTINUE = "continue"
+QUIT = "quit"
+
+_VALID_COMMANDS = {STEP_INTO, STEP_OVER, STEP_OUT, CONTINUE, QUIT}
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """A source breakpoint (file is implied: the debugged script)."""
+
+    line: int
+    condition: str | None = None
+
+
+@dataclass
+class StopPoint:
+    """One pause of the debugger: where we are and what is visible."""
+
+    index: int
+    line: int
+    function: str
+    event: str  # "line" | "call" | "return" | "exception"
+    locals: dict[str, Any] = field(default_factory=dict)
+    watches: dict[str, Any] = field(default_factory=dict)
+    is_breakpoint: bool = False
+
+    def local(self, name: str, default: Any = None) -> Any:
+        return self.locals.get(name, default)
+
+
+@dataclass
+class DebugOutcome:
+    """The result of one debug session."""
+
+    completed: bool
+    result: Any = None
+    stops: list[StopPoint] = field(default_factory=list)
+    lines_executed: int = 0
+    exception_type: str | None = None
+    exception_message: str | None = None
+    exception_line: int | None = None
+    stdout: str = ""
+    quit_requested: bool = False
+
+    @property
+    def breakpoint_stops(self) -> list[StopPoint]:
+        return [stop for stop in self.stops if stop.is_breakpoint]
+
+    def stops_at_line(self, line: int) -> list[StopPoint]:
+        return [stop for stop in self.stops if stop.line == line]
+
+
+#: A controller decides what to do at each stop.  It receives the stop and the
+#: session and returns one of the command strings above.
+Controller = Callable[[StopPoint, "DebugSession"], str]
+
+
+def run_to_completion_controller(stop: StopPoint, session: "DebugSession") -> str:
+    """Default controller: continue after every stop (breakpoints only pause)."""
+    return CONTINUE
+
+
+class ScriptedController:
+    """Replays a fixed list of commands, then continues."""
+
+    def __init__(self, commands: list[str]) -> None:
+        unknown = [c for c in commands if c not in _VALID_COMMANDS]
+        if unknown:
+            raise DebugSessionError(f"unknown debugger commands: {unknown}")
+        self.commands = list(commands)
+        self._position = 0
+
+    def __call__(self, stop: StopPoint, session: "DebugSession") -> str:
+        if self._position < len(self.commands):
+            command = self.commands[self._position]
+            self._position += 1
+            return command
+        return CONTINUE
+
+
+class StepUntilController:
+    """Keeps stepping while ``predicate(stop)`` is False; stops the session once True.
+
+    This is the programmatic equivalent of a developer stepping through the
+    loop in Scenario A until they see the variable go wrong.
+    """
+
+    def __init__(self, predicate: Callable[[StopPoint], bool], *,
+                 step_command: str = STEP_OVER, max_steps: int = 100000) -> None:
+        self.predicate = predicate
+        self.step_command = step_command
+        self.max_steps = max_steps
+        self.steps_taken = 0
+        self.matched_stop: StopPoint | None = None
+
+    def __call__(self, stop: StopPoint, session: "DebugSession") -> str:
+        if self.predicate(stop):
+            self.matched_stop = stop
+            return QUIT
+        self.steps_taken += 1
+        if self.steps_taken >= self.max_steps:
+            return QUIT
+        return self.step_command
+
+
+class _Bdb(bdb.Bdb):
+    """bdb engine wired to a :class:`DebugSession`."""
+
+    def __init__(self, session: "DebugSession") -> None:
+        super().__init__()
+        self.session = session
+
+    def user_line(self, frame: FrameType) -> None:
+        if not self.session._in_target(frame):
+            return
+        is_breakpoint = bool(self.break_here(frame))
+        command = self.session._record_stop(frame, "line", is_breakpoint=is_breakpoint)
+        self._apply(command, frame)
+
+    def user_return(self, frame: FrameType, return_value: Any) -> None:
+        if not self.session._in_target(frame):
+            return
+        if not self.session._stepping:
+            return
+        command = self.session._record_stop(frame, "return")
+        self._apply(command, frame)
+
+    def user_exception(self, frame: FrameType, exc_info: tuple) -> None:
+        if not self.session._in_target(frame):
+            return
+        self.session._record_exception(frame, exc_info)
+
+    def _apply(self, command: str, frame: FrameType) -> None:
+        if command == STEP_INTO:
+            self.session._stepping = True
+            self.set_step()
+        elif command == STEP_OVER:
+            self.session._stepping = True
+            self.set_next(frame)
+        elif command == STEP_OUT:
+            self.session._stepping = True
+            self.set_return(frame)
+        elif command == QUIT:
+            self.session._quit_requested = True
+            self.set_quit()
+        else:  # CONTINUE
+            self.session._stepping = False
+            self.set_continue()
+
+
+class DebugSession:
+    """A scriptable interactive debug session over one generated UDF file."""
+
+    RESULT_VARIABLE = "__devudf_result__"
+    #: Local variables are snapshotted at each stop; values larger than this
+    #: (in repr length) are replaced by a summary to keep traces small.
+    MAX_VALUE_REPR = 2000
+
+    def __init__(self, script_path: str | Path, *,
+                 breakpoints: list[Breakpoint | int] | None = None,
+                 controller: Controller | None = None,
+                 watches: dict[str, str] | None = None,
+                 working_directory: str | Path | None = None,
+                 max_stops: int = 200000) -> None:
+        self.script_path = Path(script_path)
+        if not self.script_path.exists():
+            raise DebugSessionError(f"script {self.script_path} does not exist")
+        self.breakpoints = [
+            bp if isinstance(bp, Breakpoint) else Breakpoint(line=int(bp))
+            for bp in (breakpoints or [])
+        ]
+        self.controller: Controller = controller or run_to_completion_controller
+        self.watches = dict(watches or {})
+        self.working_directory = Path(working_directory) if working_directory \
+            else self.script_path.parent
+        self.max_stops = max_stops
+
+        self._stops: list[StopPoint] = []
+        self._stepping = False
+        self._quit_requested = False
+        self._lines_executed = 0
+        self._exception: tuple[str, str, int | None] | None = None
+        self._canonical_path = str(self.script_path.resolve())
+
+    # ------------------------------------------------------------------ #
+    # engine callbacks
+    # ------------------------------------------------------------------ #
+    def _in_target(self, frame: FrameType) -> bool:
+        return frame.f_code.co_filename == self._canonical_path
+
+    def _snapshot_locals(self, frame: FrameType) -> dict[str, Any]:
+        snapshot: dict[str, Any] = {}
+        for name, value in frame.f_locals.items():
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if isinstance(value, (int, float, str, bool, bytes, type(None))):
+                snapshot[name] = value
+            else:
+                text = repr(value)
+                if len(text) > self.MAX_VALUE_REPR:
+                    text = text[: self.MAX_VALUE_REPR] + "...<truncated>"
+                snapshot[name] = text
+        return snapshot
+
+    def _evaluate_watches(self, frame: FrameType) -> dict[str, Any]:
+        results: dict[str, Any] = {}
+        for label, expression in self.watches.items():
+            try:
+                results[label] = eval(expression, frame.f_globals, frame.f_locals)  # noqa: S307
+            except Exception as exc:  # noqa: BLE001 - watch errors are data
+                results[label] = f"<error: {type(exc).__name__}: {exc}>"
+        return results
+
+    def _record_stop(self, frame: FrameType, event: str, *,
+                     is_breakpoint: bool = False) -> str:
+        self._lines_executed += 1
+        should_pause = is_breakpoint or self._stepping
+        if not should_pause:
+            return CONTINUE
+        if len(self._stops) >= self.max_stops:
+            return QUIT
+        stop = StopPoint(
+            index=len(self._stops),
+            line=frame.f_lineno,
+            function=frame.f_code.co_name,
+            event=event,
+            locals=self._snapshot_locals(frame),
+            watches=self._evaluate_watches(frame),
+            is_breakpoint=is_breakpoint,
+        )
+        self._stops.append(stop)
+        command = self.controller(stop, self)
+        if command not in _VALID_COMMANDS:
+            raise DebugSessionError(f"controller returned unknown command {command!r}")
+        return command
+
+    def _record_exception(self, frame: FrameType, exc_info: tuple) -> None:
+        exc_type, exc_value, _ = exc_info
+        self._exception = (exc_type.__name__, str(exc_value), frame.f_lineno)
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self) -> DebugOutcome:
+        """Run the script under the debugger and return the recorded outcome."""
+        source = self.script_path.read_text(encoding="utf-8")
+        code = compile(source, self._canonical_path, "exec")
+        namespace: dict[str, Any] = {"__name__": "__main__",
+                                     "__file__": self._canonical_path}
+        engine = _Bdb(self)
+        for breakpoint_spec in self.breakpoints:
+            error = engine.set_break(self._canonical_path, breakpoint_spec.line,
+                                     cond=breakpoint_spec.condition)
+            if error:
+                raise DebugSessionError(f"cannot set breakpoint: {error}")
+        # When there are no breakpoints, start in stepping mode so the
+        # controller is consulted from the first line (that is what a
+        # developer pressing "Step Into" on the Debug action gets).
+        self._stepping = not self.breakpoints
+
+        stdout = io.StringIO()
+        previous_dir = os.getcwd()
+        exception: BaseException | None = None
+        try:
+            os.chdir(self.working_directory)
+            with contextlib.redirect_stdout(stdout):
+                try:
+                    engine.run(code, namespace)
+                except bdb.BdbQuit:
+                    pass
+                except DebugSessionError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - reported in the outcome
+                    exception = exc
+        finally:
+            os.chdir(previous_dir)
+
+        outcome = DebugOutcome(
+            completed=exception is None and not self._quit_requested,
+            result=namespace.get(self.RESULT_VARIABLE),
+            stops=self._stops,
+            lines_executed=self._lines_executed,
+            stdout=stdout.getvalue(),
+            quit_requested=self._quit_requested,
+        )
+        if exception is not None:
+            outcome.exception_type = type(exception).__name__
+            outcome.exception_message = str(exception)
+            import traceback as _traceback
+
+            for frame, lineno in _traceback.walk_tb(exception.__traceback__):
+                if frame.f_code.co_filename == self._canonical_path:
+                    outcome.exception_line = lineno
+        elif self._exception is not None and not outcome.completed:
+            outcome.exception_type, outcome.exception_message, outcome.exception_line = \
+                self._exception
+        return outcome
+
+
+def debug_file(script_path: str | Path, *, breakpoints: list[int] | None = None,
+               watches: dict[str, str] | None = None,
+               controller: Controller | None = None,
+               working_directory: str | Path | None = None) -> DebugOutcome:
+    """Convenience wrapper: build a session and run it."""
+    session = DebugSession(
+        script_path,
+        breakpoints=list(breakpoints or []),
+        watches=watches,
+        controller=controller,
+        working_directory=working_directory,
+    )
+    return session.run()

@@ -1,0 +1,130 @@
+"""Exporting UDFs from the IDE project back to the database (Figure 3b).
+
+"The developer can then modify the code of the UDFs in these files, use
+version control to keep track of changes to the UDFs and export the UDFs back
+to the database server for execution through the 'Export UDFs' window."
+(paper §2.1)  "When the user wants to export the UDF back to the database,
+these transformations are reversed and only the function body is committed."
+(paper §2.2)
+
+The exporter reads each (edited) generated file, reverses the transformation —
+extracting the function body and the embedded signature metadata — renders a
+``CREATE OR REPLACE FUNCTION`` statement, and runs it on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExportUDFError, ProjectError, TransformError
+from ..netproto.client import Connection
+from ..sqldb.schema import FunctionSignature
+from .project import DevUDFProject
+from .transform import UDFCodeTransformer
+
+
+@dataclass
+class ExportedUDF:
+    """One UDF written back to the server."""
+
+    name: str
+    create_statement: str
+    was_nested: bool = False
+
+
+@dataclass
+class ExportReport:
+    """Outcome of one Export UDFs action."""
+
+    exported: list[ExportedUDF] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+    queries_issued: int = 0
+
+    @property
+    def exported_names(self) -> list[str]:
+        return [udf.name for udf in self.exported]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class UDFExporter:
+    """Reverses the code transformation and re-creates UDFs on the server."""
+
+    def __init__(self, connection: Connection, project: DevUDFProject) -> None:
+        self.connection = connection
+        self.project = project
+        self.transformer = UDFCodeTransformer()
+
+    # ------------------------------------------------------------------ #
+    # building the CREATE statements
+    # ------------------------------------------------------------------ #
+    def build_create_statement(self, signature: FunctionSignature) -> str:
+        """The ``CREATE OR REPLACE FUNCTION`` SQL for one reconstructed signature."""
+        return signature.to_create_sql(or_replace=True)
+
+    def signatures_in_file(self, udf_name: str, *, include_nested: bool = True
+                           ) -> list[FunctionSignature]:
+        """Reconstruct the signatures (main and optionally nested) from a file."""
+        source = self.project.udf_source(udf_name)
+        names = self.transformer.list_embedded_udfs(source)
+        if not names:
+            raise ExportUDFError(f"file for UDF {udf_name!r} has no devUDF metadata")
+        entry = self.project.entry_for(udf_name)
+        ordered: list[str] = []
+        if include_nested:
+            ordered.extend(entry.nested_udfs)
+        ordered.append(udf_name)
+        signatures = []
+        for name in ordered:
+            try:
+                signatures.append(
+                    self.transformer.standalone_to_signature(source, expected_name=name)
+                )
+            except TransformError as exc:
+                raise ExportUDFError(f"cannot reconstruct UDF {name!r}: {exc}") from exc
+        return signatures
+
+    # ------------------------------------------------------------------ #
+    # the Export UDFs action
+    # ------------------------------------------------------------------ #
+    def export_udfs(self, names: list[str] | None = None, *,
+                    include_nested: bool = True,
+                    commit_message: str | None = "Export UDFs to database"
+                    ) -> ExportReport:
+        """Export selected imported UDFs (or all of them) back to the server."""
+        report = ExportReport()
+        queries_before = self.connection.stats.queries
+        if names is None:
+            names = [entry.udf_name for entry in self.project.imported_udfs()]
+        if not names:
+            raise ExportUDFError("no imported UDFs to export")
+
+        exported_names: set[str] = set()
+        for name in names:
+            try:
+                signatures = self.signatures_in_file(name, include_nested=include_nested)
+            except (ExportUDFError, ProjectError) as exc:
+                report.failed[name] = str(exc)
+                continue
+            for signature in signatures:
+                if signature.name.lower() in exported_names:
+                    continue
+                statement = self.build_create_statement(signature)
+                try:
+                    self.connection.execute(statement)
+                except Exception as exc:  # noqa: BLE001 - surfaced in the report
+                    report.failed[signature.name] = str(exc)
+                    continue
+                exported_names.add(signature.name.lower())
+                report.exported.append(ExportedUDF(
+                    name=signature.name,
+                    create_statement=statement,
+                    was_nested=signature.name.lower() != name.lower(),
+                ))
+
+        report.queries_issued = self.connection.stats.queries - queries_before
+        if report.exported and commit_message and self.project.vcs is not None:
+            self.project.commit(commit_message)
+        return report

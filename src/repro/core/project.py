@@ -1,0 +1,186 @@
+"""The devUDF project: imported UDF files + metadata + VCS + settings.
+
+"After the UDFs are imported, the code of the UDFs is exported from the
+database and imported into the IDE as a set of files in the current project"
+(paper §2.1).  The devUDF project wraps the IDE project with the bookkeeping
+the plugin needs: which file belongs to which UDF, the embedded signatures,
+persisted settings, and the version-control store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ProjectError
+from ..ide.project_model import IDEProject
+from ..sqldb.schema import FunctionSignature
+from .settings import DevUDFSettings
+from .transform import UDFCodeTransformer, signature_from_json, signature_to_json
+from .vcs import MiniVCS
+
+#: Directory inside the project holding devUDF state.
+PLUGIN_DIR = ".devudf"
+SETTINGS_FILE = f"{PLUGIN_DIR}/settings.json"
+METADATA_FILE = f"{PLUGIN_DIR}/udfs.json"
+#: Sub-directory the imported UDF files are placed in.
+UDF_DIR = "udfs"
+
+
+@dataclass
+class UDFFileEntry:
+    """Metadata about one imported UDF file."""
+
+    udf_name: str
+    relative_path: str
+    nested_udfs: list[str] = field(default_factory=list)
+    imported_from: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "udf_name": self.udf_name,
+            "relative_path": self.relative_path,
+            "nested_udfs": list(self.nested_udfs),
+            "imported_from": self.imported_from,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UDFFileEntry":
+        return cls(
+            udf_name=data["udf_name"],
+            relative_path=data["relative_path"],
+            nested_udfs=list(data.get("nested_udfs", [])),
+            imported_from=data.get("imported_from", ""),
+        )
+
+
+class DevUDFProject:
+    """A devUDF-enabled IDE project."""
+
+    def __init__(self, root: str | Path, *, name: str = "",
+                 use_vcs: bool = True) -> None:
+        self.ide_project = IDEProject(Path(root), name=name)
+        self.transformer = UDFCodeTransformer()
+        (self.root / PLUGIN_DIR).mkdir(parents=True, exist_ok=True)
+        (self.root / UDF_DIR).mkdir(parents=True, exist_ok=True)
+        self.vcs: MiniVCS | None = MiniVCS(self.root) if use_vcs else None
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        return self.ide_project.root
+
+    @property
+    def name(self) -> str:
+        return self.ide_project.name
+
+    def udf_file_path(self, udf_name: str) -> str:
+        return f"{UDF_DIR}/{udf_name}.py"
+
+    # ------------------------------------------------------------------ #
+    # settings persistence
+    # ------------------------------------------------------------------ #
+    def save_settings(self, settings: DevUDFSettings) -> Path:
+        path = self.root / SETTINGS_FILE
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(settings.as_dict(), indent=2), encoding="utf-8")
+        return path
+
+    def load_settings(self) -> DevUDFSettings:
+        path = self.root / SETTINGS_FILE
+        if not path.exists():
+            raise ProjectError("project has no saved devUDF settings")
+        return DevUDFSettings.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def has_settings(self) -> bool:
+        return (self.root / SETTINGS_FILE).exists()
+
+    # ------------------------------------------------------------------ #
+    # UDF file registry
+    # ------------------------------------------------------------------ #
+    def _load_registry(self) -> dict[str, UDFFileEntry]:
+        path = self.root / METADATA_FILE
+        if not path.exists():
+            return {}
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        return {entry["udf_name"].lower(): UDFFileEntry.from_dict(entry) for entry in raw}
+
+    def _save_registry(self, registry: dict[str, UDFFileEntry]) -> None:
+        path = self.root / METADATA_FILE
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = [entry.as_dict() for entry in registry.values()]
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    def register_udf_file(self, udf_name: str, relative_path: str, *,
+                          nested_udfs: list[str] | None = None,
+                          imported_from: str = "") -> UDFFileEntry:
+        registry = self._load_registry()
+        entry = UDFFileEntry(udf_name=udf_name, relative_path=relative_path,
+                             nested_udfs=list(nested_udfs or []),
+                             imported_from=imported_from)
+        registry[udf_name.lower()] = entry
+        self._save_registry(registry)
+        return entry
+
+    def imported_udfs(self) -> list[UDFFileEntry]:
+        return sorted(self._load_registry().values(), key=lambda entry: entry.udf_name)
+
+    def entry_for(self, udf_name: str) -> UDFFileEntry:
+        registry = self._load_registry()
+        entry = registry.get(udf_name.lower())
+        if entry is None:
+            raise ProjectError(
+                f"UDF {udf_name!r} has not been imported into project {self.name!r}"
+            )
+        return entry
+
+    def has_udf(self, udf_name: str) -> bool:
+        return udf_name.lower() in self._load_registry()
+
+    # ------------------------------------------------------------------ #
+    # content access
+    # ------------------------------------------------------------------ #
+    def udf_source(self, udf_name: str) -> str:
+        """The (possibly edited, possibly unsaved) source of an imported UDF."""
+        entry = self.entry_for(udf_name)
+        return self.ide_project.read_text(entry.relative_path)
+
+    def udf_signature(self, udf_name: str) -> FunctionSignature:
+        """The signature of an imported UDF reconstructed from its file."""
+        source = self.udf_source(udf_name)
+        return self.transformer.standalone_to_signature(source, expected_name=udf_name)
+
+    def open_udf(self, udf_name: str):
+        """Open the UDF's file in an editor buffer."""
+        entry = self.entry_for(udf_name)
+        return self.ide_project.open_file(entry.relative_path)
+
+    # ------------------------------------------------------------------ #
+    # VCS convenience
+    # ------------------------------------------------------------------ #
+    def commit(self, message: str):
+        if self.vcs is None:
+            raise ProjectError("version control is disabled for this project")
+        self.ide_project.save_all()
+        return self.vcs.commit(message)
+
+    def history(self):
+        if self.vcs is None:
+            return []
+        return self.vcs.log()
+
+
+# re-export used by the importer/exporter
+__all__ = [
+    "DevUDFProject",
+    "PLUGIN_DIR",
+    "SETTINGS_FILE",
+    "METADATA_FILE",
+    "UDF_DIR",
+    "UDFFileEntry",
+    "signature_from_json",
+    "signature_to_json",
+]

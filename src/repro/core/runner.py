@@ -1,0 +1,103 @@
+"""Local execution of transformed UDF files.
+
+Running the generated file (Listing 2) executes the UDF "locally on the
+developers' machine instead of remotely inside the database server" (§2.1).
+The runner executes a generated file in-process — which is what allows the
+interactive debugger to attach — captures its printed output, the value the
+trailing call produced, and any exception with its location.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import DebugSessionError
+
+
+@dataclass
+class RunResult:
+    """What happened when a generated UDF file was executed locally."""
+
+    path: Path
+    completed: bool
+    result: Any = None
+    stdout: str = ""
+    exception: BaseException | None = None
+    exception_type: str | None = None
+    exception_message: str | None = None
+    exception_line: int | None = None
+    traceback_text: str = ""
+    globals: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def failed(self) -> bool:
+        return not self.completed
+
+
+@contextlib.contextmanager
+def _working_directory(path: Path):
+    previous = os.getcwd()
+    os.chdir(path)
+    try:
+        yield
+    finally:
+        os.chdir(previous)
+
+
+class LocalUDFRunner:
+    """Executes generated UDF files in-process (the plain 'Run' action)."""
+
+    #: Name of the variable the generated trailing call assigns its result to.
+    RESULT_VARIABLE = "__devudf_result__"
+
+    def run_file(self, path: str | Path, *, working_directory: str | Path | None = None,
+                 extra_globals: dict[str, Any] | None = None) -> RunResult:
+        """Execute one generated file and capture the outcome."""
+        script = Path(path)
+        if not script.exists():
+            raise DebugSessionError(f"script {script} does not exist")
+        workdir = Path(working_directory) if working_directory else script.parent
+        source = script.read_text(encoding="utf-8")
+        namespace: dict[str, Any] = {"__name__": "__main__", "__file__": str(script)}
+        if extra_globals:
+            namespace.update(extra_globals)
+        stdout = io.StringIO()
+        try:
+            code = compile(source, str(script), "exec")
+        except SyntaxError as exc:
+            return RunResult(
+                path=script, completed=False, exception=exc,
+                exception_type="SyntaxError", exception_message=str(exc),
+                exception_line=exc.lineno, traceback_text=traceback.format_exc(),
+            )
+        try:
+            with _working_directory(workdir), contextlib.redirect_stdout(stdout):
+                exec(code, namespace)  # noqa: S102 - running the generated UDF is the feature
+        except BaseException as exc:  # noqa: BLE001 - reported to the developer
+            line = _exception_line(exc, str(script))
+            return RunResult(
+                path=script, completed=False, result=None, stdout=stdout.getvalue(),
+                exception=exc, exception_type=type(exc).__name__,
+                exception_message=str(exc), exception_line=line,
+                traceback_text=traceback.format_exc(), globals=namespace,
+            )
+        return RunResult(
+            path=script, completed=True,
+            result=namespace.get(self.RESULT_VARIABLE),
+            stdout=stdout.getvalue(), globals=namespace,
+        )
+
+
+def _exception_line(exc: BaseException, script_path: str) -> int | None:
+    """The last line number inside the script where the exception passed through."""
+    line = None
+    for frame, lineno in traceback.walk_tb(exc.__traceback__):
+        if frame.f_code.co_filename == script_path:
+            line = lineno
+    return line

@@ -1,0 +1,131 @@
+"""Packaging extracted input data into the local ``input.bin`` blob.
+
+Listing 2 shows the generated file loading its inputs with
+``pickle.load(open('./input.bin', 'rb'))``.  This module writes that blob from
+an :class:`~repro.core.extract.ExtractedInputs`, optionally compressing and/or
+encrypting the bytes at rest (the same options that protected the data on the
+wire can protect the local copy of sensitive data), and reads it back.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import ExtractionError
+from ..netproto import compression as compression_mod
+from ..netproto import encryption as encryption_mod
+from .extract import ExtractedInputs
+
+#: Key under which loopback replay data is stored inside the blob.
+LOOPBACK_KEY = "_loopback"
+
+_ENCRYPTED_WRAPPER_KEY = "__devudf_encrypted__"
+_COMPRESSED_WRAPPER_KEY = "__devudf_compressed__"
+
+
+@dataclass
+class InputBlobStats:
+    """Size accounting for one written input blob."""
+
+    path: Path
+    pickled_bytes: int
+    stored_bytes: int
+    parameters: int
+    loopback_queries: int
+    compressed: bool = False
+    encrypted: bool = False
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.pickled_bytes / max(self.stored_bytes, 1)
+
+
+def build_input_parameters(inputs: ExtractedInputs) -> dict[str, Any]:
+    """The ``input_parameters`` dictionary the generated file loads."""
+    payload: dict[str, Any] = {}
+    for name, value in inputs.parameters.items():
+        payload[name] = _to_plain(value)
+    if inputs.loopback:
+        payload[LOOPBACK_KEY] = {
+            query: {column: _to_plain(values) for column, values in columns.items()}
+            for query, columns in inputs.loopback.items()
+        }
+    return payload
+
+
+def _to_plain(value: Any) -> Any:
+    """Keep numpy arrays (the UDF-facing format) but normalise other values."""
+    if isinstance(value, np.ndarray):
+        return value
+    if isinstance(value, (list, tuple)):
+        try:
+            return np.array(value)
+        except (ValueError, TypeError):
+            return list(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def write_input_blob(inputs: ExtractedInputs, path: str | Path, *,
+                     compress: bool = False, codec: str = compression_mod.CODEC_ZLIB,
+                     encrypt_password: str | None = None) -> InputBlobStats:
+    """Write ``input.bin`` for a debug run; returns size statistics."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = build_input_parameters(inputs)
+    pickled = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    stored = pickled
+    compressed = False
+    encrypted = False
+    if compress:
+        stored = compression_mod.compress(stored, codec)
+        compressed = True
+    if encrypt_password is not None:
+        stored = encryption_mod.encrypt(stored, encrypt_password)
+        encrypted = True
+    if compressed or encrypted:
+        # wrap so the reader knows how to undo the at-rest transformations
+        wrapper = {
+            _COMPRESSED_WRAPPER_KEY: compressed,
+            _ENCRYPTED_WRAPPER_KEY: encrypted,
+            "payload": stored,
+        }
+        stored = pickle.dumps(wrapper, protocol=pickle.HIGHEST_PROTOCOL)
+    target.write_bytes(stored)
+    return InputBlobStats(
+        path=target,
+        pickled_bytes=len(pickled),
+        stored_bytes=target.stat().st_size,
+        parameters=len(inputs.parameters),
+        loopback_queries=len(inputs.loopback),
+        compressed=compressed,
+        encrypted=encrypted,
+    )
+
+
+def read_input_blob(path: str | Path, *, password: str | None = None) -> dict[str, Any]:
+    """Read an ``input.bin`` written by :func:`write_input_blob`."""
+    source = Path(path)
+    if not source.exists():
+        raise ExtractionError(f"input blob {source} does not exist")
+    raw = source.read_bytes()
+    payload = pickle.loads(raw)
+    if isinstance(payload, dict) and _ENCRYPTED_WRAPPER_KEY in payload:
+        data = payload["payload"]
+        if payload.get(_ENCRYPTED_WRAPPER_KEY):
+            if password is None:
+                raise ExtractionError("input blob is encrypted; a password is required")
+            data = encryption_mod.decrypt(data, password)
+        if payload.get(_COMPRESSED_WRAPPER_KEY):
+            data = compression_mod.decompress(data)
+        payload = pickle.loads(data)
+    if not isinstance(payload, dict):
+        raise ExtractionError("input blob does not contain a parameter dictionary")
+    return payload

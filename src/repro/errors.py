@@ -1,0 +1,111 @@
+"""Shared exception hierarchy for the devUDF reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers (the CLI, the IDE model, the workflow simulators) can distinguish
+"expected" failures (bad SQL, unknown UDF, wrong password) from genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# --------------------------------------------------------------------------- #
+# SQL engine errors
+# --------------------------------------------------------------------------- #
+class SQLError(ReproError):
+    """Base class for errors raised by the embedded SQL engine."""
+
+
+class ParseError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SQLError):
+    """A schema object (table, function, column) is missing or duplicated."""
+
+
+class ExecutionError(SQLError):
+    """A statement failed during execution."""
+
+
+class TypeMismatchError(ExecutionError):
+    """A value could not be coerced to the declared SQL type."""
+
+
+class UDFError(ExecutionError):
+    """A Python UDF raised an exception or returned an invalid result."""
+
+    def __init__(self, function_name: str, message: str,
+                 original: BaseException | None = None) -> None:
+        super().__init__(f"UDF {function_name!r}: {message}")
+        self.function_name = function_name
+        self.original = original
+
+
+# --------------------------------------------------------------------------- #
+# Client protocol errors
+# --------------------------------------------------------------------------- #
+class ProtocolError(ReproError):
+    """Base class for wire-protocol errors."""
+
+
+class AuthenticationError(ProtocolError):
+    """Login was rejected (unknown user or wrong password)."""
+
+
+class ConnectionClosedError(ProtocolError):
+    """An operation was attempted on a closed connection."""
+
+
+class WireFormatError(ProtocolError):
+    """A message frame could not be decoded."""
+
+
+class DecryptionError(ProtocolError):
+    """An encrypted payload failed integrity verification (wrong key?)."""
+
+
+# --------------------------------------------------------------------------- #
+# devUDF plugin errors
+# --------------------------------------------------------------------------- #
+class DevUDFError(ReproError):
+    """Base class for errors raised by the devUDF core."""
+
+
+class SettingsError(DevUDFError):
+    """The plugin settings are incomplete or inconsistent."""
+
+
+class TransformError(DevUDFError):
+    """A UDF body could not be transformed to/from a runnable file."""
+
+
+class ImportUDFError(DevUDFError):
+    """Importing UDFs from the database failed."""
+
+
+class ExportUDFError(DevUDFError):
+    """Exporting UDFs back to the database failed."""
+
+
+class ExtractionError(DevUDFError):
+    """The debug query could not be rewritten or the input data extracted."""
+
+
+class DebugSessionError(DevUDFError):
+    """The local debug session could not be started or driven."""
+
+
+class VCSError(DevUDFError):
+    """A version-control operation failed."""
+
+
+class ProjectError(DevUDFError):
+    """An IDE project operation failed."""

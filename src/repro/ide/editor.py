@@ -1,0 +1,115 @@
+"""Editor buffers: the in-memory text documents the IDE edits.
+
+devUDF imports UDFs "into the IDE as a set of files in the current project"
+(paper §2.1); the developer then modifies the code in those files.  The
+reproduction models that editing surface so tests and workflow simulations can
+perform the same modifications a developer would (replace a line, insert a
+statement, refactor a name) and track dirty/saved state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ProjectError
+
+
+@dataclass
+class EditorBuffer:
+    """An open document: a path plus its (possibly modified) text."""
+
+    path: Path
+    text: str = ""
+    dirty: bool = False
+    edit_count: int = 0
+    _undo_stack: list[str] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # content access
+    # ------------------------------------------------------------------ #
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def line(self, number: int) -> str:
+        """1-based line access (like the editor gutter)."""
+        lines = self.lines
+        if not 1 <= number <= len(lines):
+            raise ProjectError(f"line {number} out of range (1..{len(lines)})")
+        return lines[number - 1]
+
+    def find_line(self, needle: str) -> int:
+        """1-based number of the first line containing ``needle``."""
+        for index, line in enumerate(self.lines, start=1):
+            if needle in line:
+                return index
+        raise ProjectError(f"text {needle!r} not found in {self.path.name}")
+
+    # ------------------------------------------------------------------ #
+    # edits
+    # ------------------------------------------------------------------ #
+    def _push_undo(self) -> None:
+        self._undo_stack.append(self.text)
+
+    def set_text(self, text: str) -> None:
+        self._push_undo()
+        self.text = text
+        self.dirty = True
+        self.edit_count += 1
+
+    def replace_line(self, number: int, new_line: str) -> None:
+        lines = self.lines
+        if not 1 <= number <= len(lines):
+            raise ProjectError(f"line {number} out of range (1..{len(lines)})")
+        self._push_undo()
+        lines[number - 1] = new_line
+        self.text = "\n".join(lines) + ("\n" if self.text.endswith("\n") else "")
+        self.dirty = True
+        self.edit_count += 1
+
+    def insert_line(self, number: int, new_line: str) -> None:
+        lines = self.lines
+        if not 1 <= number <= len(lines) + 1:
+            raise ProjectError(f"line {number} out of range (1..{len(lines) + 1})")
+        self._push_undo()
+        lines.insert(number - 1, new_line)
+        self.text = "\n".join(lines) + ("\n" if self.text.endswith("\n") else "")
+        self.dirty = True
+        self.edit_count += 1
+
+    def replace_text(self, old: str, new: str, *, count: int = -1) -> int:
+        """Replace occurrences of ``old`` with ``new``; returns replacements made."""
+        occurrences = self.text.count(old)
+        if occurrences == 0:
+            return 0
+        if count >= 0:
+            occurrences = min(occurrences, count)
+        self._push_undo()
+        self.text = self.text.replace(old, new, count if count >= 0 else -1)
+        self.dirty = True
+        self.edit_count += 1
+        return occurrences
+
+    def undo(self) -> bool:
+        if not self._undo_stack:
+            return False
+        self.text = self._undo_stack.pop()
+        self.dirty = True
+        self.edit_count += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self) -> Path:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(self.text, encoding="utf-8")
+        self.dirty = False
+        return self.path
+
+    def reload(self) -> None:
+        if not self.path.exists():
+            raise ProjectError(f"{self.path} does not exist on disk")
+        self.text = self.path.read_text(encoding="utf-8")
+        self.dirty = False

@@ -1,0 +1,57 @@
+"""Classification metrics used by the nested-UDF example and its tests."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def accuracy_score(true_labels: Sequence[Any], predicted: Sequence[Any]) -> float:
+    """Fraction of predictions that match the true labels."""
+    truth = np.asarray(true_labels)
+    guess = np.asarray(predicted)
+    if len(truth) != len(guess):
+        raise ValueError("length mismatch between labels and predictions")
+    if len(truth) == 0:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float(np.mean(truth == guess))
+
+
+def correct_predictions(true_labels: Sequence[Any], predicted: Sequence[Any]) -> int:
+    """Number of correct predictions (the quantity Listing 3 maximises)."""
+    truth = np.asarray(true_labels)
+    guess = np.asarray(predicted)
+    if len(truth) != len(guess):
+        raise ValueError("length mismatch between labels and predictions")
+    return int(np.sum(truth == guess))
+
+
+def confusion_matrix(true_labels: Sequence[Any], predicted: Sequence[Any]
+                     ) -> tuple[list[Any], np.ndarray]:
+    """Confusion matrix; returns (ordered class labels, matrix)."""
+    truth = np.asarray(true_labels)
+    guess = np.asarray(predicted)
+    classes = sorted(set(truth.tolist()) | set(guess.tolist()))
+    index = {cls: i for i, cls in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=int)
+    for actual, got in zip(truth.tolist(), guess.tolist()):
+        matrix[index[actual], index[got]] += 1
+    return classes, matrix
+
+
+def train_test_split(data: Sequence[Sequence[float]], labels: Sequence[Any], *,
+                     test_fraction: float = 0.25, seed: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split rows into train and test sets (uniform, without replacement)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    matrix = np.asarray(data, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    target = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(matrix))
+    cut = max(1, int(round(len(matrix) * test_fraction)))
+    test_idx, train_idx = order[:cut], order[cut:]
+    return matrix[train_idx], target[train_idx], matrix[test_idx], target[test_idx]

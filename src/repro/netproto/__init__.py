@@ -1,0 +1,73 @@
+"""``repro.netproto`` — the client protocol the devUDF plugin connects through.
+
+A length-prefixed binary protocol (the JDBC stand-in) with challenge/response
+authentication and the three transfer options the paper's settings dialog
+exposes: compression, encryption with the user's password, and server-side
+uniform sampling.
+"""
+
+from .auth import UserRegistry, compute_response
+from .client import (
+    ClientStats,
+    Connection,
+    ConnectionInfo,
+    Cursor,
+    TransferOptions,
+    split_statements,
+)
+from .compression import (
+    CODEC_NONE,
+    CODEC_RLE,
+    CODEC_ZLIB,
+    available_codecs,
+    compress,
+    compression_ratio,
+    decompress,
+)
+from .encryption import decrypt, derive_key, encrypt, is_encrypted
+from .messages import TransferStats, decode_result, encode_result
+from .sampling import SampleSpec, sample_columns, sample_indices
+from .server import (
+    DatabaseServer,
+    InProcessTransport,
+    ServerStats,
+    Session,
+    SocketServer,
+    SocketTransport,
+    start_demo_server,
+)
+
+__all__ = [
+    "CODEC_NONE",
+    "CODEC_RLE",
+    "CODEC_ZLIB",
+    "ClientStats",
+    "Connection",
+    "ConnectionInfo",
+    "Cursor",
+    "DatabaseServer",
+    "InProcessTransport",
+    "SampleSpec",
+    "ServerStats",
+    "Session",
+    "SocketServer",
+    "SocketTransport",
+    "TransferOptions",
+    "TransferStats",
+    "UserRegistry",
+    "available_codecs",
+    "compress",
+    "compression_ratio",
+    "compute_response",
+    "decode_result",
+    "decompress",
+    "decrypt",
+    "derive_key",
+    "encode_result",
+    "encrypt",
+    "is_encrypted",
+    "sample_columns",
+    "sample_indices",
+    "split_statements",
+    "start_demo_server",
+]

@@ -1,0 +1,153 @@
+"""Protocol messages and result-set serialisation.
+
+A query result travels as a single payload blob inside the ``result`` message.
+The payload is built in stages that mirror the paper's transfer options
+(§2.1-2.2): serialise -> (optional) sample happened server-side already ->
+(optional) compress -> (optional) encrypt.  Each stage's size is recorded so
+the transfer benchmarks can report bytes-on-the-wire per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ProtocolError, WireFormatError
+from ..sqldb.result import QueryResult, ResultColumn
+from ..sqldb.types import SQLType
+from . import compression as compression_mod
+from . import encryption as encryption_mod
+from .wire import decode_value, encode_value
+
+# message type names
+MSG_HELLO = "hello"
+MSG_CHALLENGE = "challenge"
+MSG_LOGIN = "login"
+MSG_LOGIN_OK = "login_ok"
+MSG_QUERY = "query"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_CLOSE = "close"
+MSG_CLOSED = "closed"
+
+
+@dataclass
+class TransferStats:
+    """Byte counts for one result transfer (the C1/C2/C3 benchmark metrics)."""
+
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+    encrypted_bytes: int = 0
+    wire_bytes: int = 0
+    compression_codec: str = compression_mod.CODEC_NONE
+    encrypted: bool = False
+    sampled_rows: int | None = None
+    total_rows: int | None = None
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.compressed_bytes
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "raw_bytes": self.raw_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "encrypted_bytes": self.encrypted_bytes,
+            "wire_bytes": self.wire_bytes,
+            "compression_codec": self.compression_codec,
+            "compression_ratio": self.compression_ratio,
+            "encrypted": self.encrypted,
+            "sampled_rows": self.sampled_rows,
+            "total_rows": self.total_rows,
+        }
+
+
+def result_to_payload_dict(result: QueryResult) -> dict[str, Any]:
+    """Columnar dict representation of a result set (pre-serialisation)."""
+    return {
+        "statement_type": result.statement_type,
+        "affected_rows": result.affected_rows,
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.sql_type.value,
+                "values": [_wire_value(v) for v in column.values],
+            }
+            for column in result.columns
+        ],
+    }
+
+
+def payload_dict_to_result(payload: dict[str, Any]) -> QueryResult:
+    columns = []
+    for column in payload.get("columns", []):
+        sql_type = SQLType(column["type"])
+        columns.append(ResultColumn(column["name"], sql_type, list(column["values"])))
+    return QueryResult(
+        columns,
+        affected_rows=int(payload.get("affected_rows", 0)),
+        statement_type=str(payload.get("statement_type", "SELECT")),
+    )
+
+
+def _wire_value(value: Any) -> Any:
+    """Normalise numpy scalars and other exotic values before encoding."""
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", ()) == ():
+        return value.item()
+    return value
+
+
+@dataclass
+class EncodedResult:
+    """The encrypted/compressed payload plus its transfer statistics."""
+
+    blob: bytes
+    stats: TransferStats = field(default_factory=TransferStats)
+    compressed: bool = False
+    encrypted: bool = False
+
+
+def encode_result(result: QueryResult, *,
+                  compression: str | None = None,
+                  encryption_key: str | None = None) -> EncodedResult:
+    """Serialise a result set applying the requested transfer options."""
+    raw = encode_value(result_to_payload_dict(result))
+    stats = TransferStats(raw_bytes=len(raw), total_rows=result.row_count)
+    blob = raw
+    compressed = False
+    if compression and compression != compression_mod.CODEC_NONE:
+        blob = compression_mod.compress(blob, compression)
+        stats.compressed_bytes = len(blob)
+        stats.compression_codec = compression
+        compressed = True
+    else:
+        stats.compressed_bytes = len(blob)
+    encrypted = False
+    if encryption_key is not None:
+        blob = encryption_mod.encrypt(blob, encryption_key)
+        stats.encrypted_bytes = len(blob)
+        stats.encrypted = True
+        encrypted = True
+    else:
+        stats.encrypted_bytes = len(blob)
+    stats.wire_bytes = len(blob)
+    return EncodedResult(blob=blob, stats=stats, compressed=compressed, encrypted=encrypted)
+
+
+def decode_result(blob: bytes, *, compressed: bool, encrypted: bool,
+                  encryption_key: str | None = None) -> QueryResult:
+    """Reverse :func:`encode_result`."""
+    data = blob
+    if encrypted:
+        if encryption_key is None:
+            raise ProtocolError("result is encrypted but no key was provided")
+        data = encryption_mod.decrypt(data, encryption_key)
+    if compressed:
+        data = compression_mod.decompress(data)
+    payload = decode_value(data)
+    if not isinstance(payload, dict):
+        raise WireFormatError("result payload is not a dictionary")
+    return payload_dict_to_result(payload)

@@ -1,0 +1,67 @@
+"""Uniform random sampling of result sets.
+
+Paper §2.1: "the developer can choose to execute the UDF using a uniform
+random sample of the input data instead of the full set of input data.  This
+will alleviate the data transfer overhead."  §2.2: "If the sample option is
+enabled, a uniform random sample of a size specified by the user is taken
+before extracting the data from the database server."
+
+Sampling happens server-side (before transfer), is uniform without
+replacement, samples all columns with the *same* row indices (so multi-column
+inputs stay row-aligned), and is reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """How much to sample.
+
+    Exactly one of ``size`` (absolute row count) or ``fraction`` (0 < f <= 1)
+    should be set; the paper's settings dialog exposes a size, the benchmarks
+    sweep fractions.
+    """
+
+    size: int | None = None
+    fraction: float | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.size is None) == (self.fraction is None):
+            raise ValueError("specify exactly one of size or fraction")
+        if self.size is not None and self.size < 0:
+            raise ValueError("sample size must be non-negative")
+        if self.fraction is not None and not (0.0 < self.fraction <= 1.0):
+            raise ValueError("sample fraction must be in (0, 1]")
+
+    def resolve_size(self, row_count: int) -> int:
+        if self.size is not None:
+            return min(self.size, row_count)
+        return min(row_count, max(1, round(row_count * float(self.fraction))))
+
+
+def sample_indices(row_count: int, spec: SampleSpec) -> list[int]:
+    """Choose the sampled row indices (sorted, without replacement)."""
+    target = spec.resolve_size(row_count)
+    if target >= row_count:
+        return list(range(row_count))
+    rng = random.Random(spec.seed)
+    return sorted(rng.sample(range(row_count), target))
+
+
+def sample_columns(columns: Mapping[str, Sequence[Any]],
+                   spec: SampleSpec) -> dict[str, list[Any]]:
+    """Sample every column with the same row indices (row-aligned)."""
+    if not columns:
+        return {}
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have differing lengths: {sorted(lengths)}")
+    row_count = lengths.pop()
+    indices = sample_indices(row_count, spec)
+    return {name: [values[i] for i in indices] for name, values in columns.items()}

@@ -1,0 +1,317 @@
+"""The database server: session handling, query execution, result transfer.
+
+The server wraps an embedded :class:`repro.sqldb.Database` and speaks the
+message protocol defined in :mod:`repro.netproto.messages`.  It can be driven
+through two transports:
+
+* :class:`InProcessTransport` — same process, but every message still goes
+  through the full encode/decode path so byte counts are real (used by tests
+  and benchmarks; this is the common path for the reproduction).
+* :class:`SocketServer` — a real TCP server (one thread per connection) for
+  the examples that want the paper's "remote database server" topology.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import AuthenticationError, ProtocolError, ReproError
+from ..sqldb.database import Database
+from . import compression as compression_mod
+from .auth import UserRegistry
+from .messages import (
+    MSG_CHALLENGE,
+    MSG_CLOSE,
+    MSG_CLOSED,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_LOGIN,
+    MSG_LOGIN_OK,
+    MSG_QUERY,
+    MSG_RESULT,
+    encode_result,
+)
+from .wire import decode_message, encode_message, read_frame, write_frame
+
+
+@dataclass
+class Session:
+    """Per-connection server state."""
+
+    session_id: int
+    username: str | None = None
+    database: str | None = None
+    authenticated: bool = False
+    pending_challenge: bytes | None = None
+    transfer_key: bytes | None = None
+    queries_executed: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+@dataclass
+class ServerStats:
+    """Aggregate server statistics (used by the workflow benchmarks)."""
+
+    sessions_opened: int = 0
+    queries_executed: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    errors: int = 0
+    query_log: list[str] = field(default_factory=list)
+
+
+class DatabaseServer:
+    """Protocol logic: turns request messages into response messages."""
+
+    def __init__(self, database: Database | None = None,
+                 registry: UserRegistry | None = None, *,
+                 default_user: str = "monetdb", default_password: str = "monetdb") -> None:
+        self.database = database or Database()
+        self.registry = registry or UserRegistry()
+        if default_user and not self.registry.has_user(default_user):
+            self.registry.add_user(default_user, default_password,
+                                   database=self.database.name)
+        self.stats = ServerStats()
+        self._next_session = 1
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # session management
+    # ------------------------------------------------------------------ #
+    def open_session(self) -> Session:
+        with self._lock:
+            session = Session(session_id=self._next_session)
+            self._next_session += 1
+            self.stats.sessions_opened += 1
+            return session
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def handle_message(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
+        """Process one request message and produce the response message."""
+        try:
+            message_type = message.get("type")
+            if message_type == MSG_HELLO:
+                return self._handle_hello(session, message)
+            if message_type == MSG_LOGIN:
+                return self._handle_login(session, message)
+            if message_type == MSG_QUERY:
+                return self._handle_query(session, message)
+            if message_type == MSG_CLOSE:
+                return {"type": MSG_CLOSED}
+            raise ProtocolError(f"unknown message type {message_type!r}")
+        except ReproError as exc:
+            self.stats.errors += 1
+            return {
+                "type": MSG_ERROR,
+                "error_class": type(exc).__name__,
+                "message": str(exc),
+            }
+
+    def _handle_hello(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
+        username = str(message.get("username", ""))
+        session.username = username
+        session.database = str(message.get("database", self.database.name))
+        salt, challenge = self.registry.challenge_for(username)
+        session.pending_challenge = challenge
+        return {
+            "type": MSG_CHALLENGE,
+            "salt": salt,
+            "challenge": challenge,
+            "server": "repro-monetdb",
+            "protocol_version": 1,
+        }
+
+    def _handle_login(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
+        if session.pending_challenge is None or session.username is None:
+            raise ProtocolError("login before hello")
+        response = message.get("response")
+        if not isinstance(response, (bytes, bytearray)):
+            raise ProtocolError("login response must be bytes")
+        account = self.registry.verify(
+            session.username, session.pending_challenge, bytes(response),
+            database=session.database,
+        )
+        session.authenticated = True
+        session.pending_challenge = None
+        session.transfer_key = account.digest
+        return {"type": MSG_LOGIN_OK, "database": account.database,
+                "username": account.username}
+
+    def _handle_query(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
+        if not session.authenticated:
+            raise AuthenticationError("not authenticated")
+        sql = str(message.get("sql", ""))
+        if not sql.strip():
+            raise ProtocolError("empty query")
+        options = message.get("options") or {}
+        compression = options.get("compression") or compression_mod.CODEC_NONE
+        encrypt = bool(options.get("encrypt", False))
+
+        result = self.database.execute(sql)
+        session.queries_executed += 1
+        self.stats.queries_executed += 1
+        self.stats.query_log.append(sql)
+
+        encryption_key = None
+        if encrypt:
+            if session.transfer_key is None:
+                raise ProtocolError("no transfer key available for encryption")
+            encryption_key = session.transfer_key.hex()
+        encoded = encode_result(result, compression=compression,
+                                encryption_key=encryption_key)
+        return {
+            "type": MSG_RESULT,
+            "payload": encoded.blob,
+            "compressed": encoded.compressed,
+            "encrypted": encoded.encrypted,
+            "stats": encoded.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # framed entry point shared by the transports
+    # ------------------------------------------------------------------ #
+    def handle_frame(self, session: Session, frame_payload: bytes) -> bytes:
+        request = decode_message(frame_payload)
+        session.bytes_received += len(frame_payload)
+        self.stats.bytes_received += len(frame_payload)
+        response = self.handle_message(session, request)
+        encoded = encode_message(response)
+        session.bytes_sent += len(encoded)
+        self.stats.bytes_sent += len(encoded)
+        return encoded
+
+
+class InProcessTransport:
+    """A client-side transport that talks to a server object in-process.
+
+    All messages are round-tripped through the wire codec so the byte counts
+    and failure modes match the socket transport.
+    """
+
+    def __init__(self, server: DatabaseServer) -> None:
+        self.server = server
+        self.session = server.open_session()
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self.closed:
+            raise ProtocolError("transport is closed")
+        request = encode_message(message)
+        self.bytes_sent += len(request)
+        # strip the frame header the same way the socket path would
+        from .wire import decode_frame
+
+        payload, _ = decode_frame(request)
+        response_frame = self.server.handle_frame(self.session, payload)
+        self.bytes_received += len(response_frame)
+        response_payload, _ = decode_frame(response_frame)
+        return decode_message(response_payload)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class _SocketHandler(socketserver.BaseRequestHandler):
+    """One thread per client connection."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via integration tests
+        server: "SocketServer" = self.server  # type: ignore[assignment]
+        database_server = server.database_server
+        session = database_server.open_session()
+        stream = self.request.makefile("rwb")
+        try:
+            while True:
+                try:
+                    payload = read_frame(stream)
+                except ProtocolError:
+                    return
+                response = database_server.handle_frame(session, payload)
+                stream.write(response)
+                stream.flush()
+                message = decode_message(payload)
+                if message.get("type") == MSG_CLOSE:
+                    return
+        finally:
+            stream.close()
+
+
+class SocketServer(socketserver.ThreadingTCPServer):
+    """A TCP server hosting a :class:`DatabaseServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, database_server: DatabaseServer,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _SocketHandler)
+        self.database_server = database_server
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def start_background(self) -> tuple[str, int]:
+        """Start serving in a daemon thread; returns (host, port)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+class SocketTransport:
+    """Client-side transport over a TCP socket."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self.closed:
+            raise ProtocolError("transport is closed")
+        payload = encode_message(message)
+        # encode_message returns a full frame already
+        self._stream.write(payload)
+        self._stream.flush()
+        self.bytes_sent += len(payload)
+        response_payload = read_frame(self._stream)
+        self.bytes_received += len(response_payload) + 6
+        return decode_message(response_payload)
+
+    def close(self) -> None:
+        if not self.closed:
+            try:
+                self._stream.close()
+                self._socket.close()
+            finally:
+                self.closed = True
+
+
+def start_demo_server(database: Database | None = None, *,
+                      user: str = "monetdb", password: str = "monetdb",
+                      host: str = "127.0.0.1", port: int = 0
+                      ) -> tuple[DatabaseServer, SocketServer, tuple[str, int]]:
+    """Convenience helper: build a server, start it on a free port, return it."""
+    database_server = DatabaseServer(database, default_user=user,
+                                     default_password=password)
+    socket_server = SocketServer(database_server, host=host, port=port)
+    address = socket_server.start_background()
+    return database_server, socket_server, address

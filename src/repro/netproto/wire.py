@@ -1,0 +1,205 @@
+"""Binary wire encoding for the client protocol.
+
+devUDF talks to the database over a client connection (JDBC in the paper); the
+reproduction ships its own small length-prefixed binary protocol so that the
+data-transfer experiments (compression / sampling / encryption, paper §2.1)
+can measure real bytes-on-the-wire rather than Python object sizes.
+
+The codec is self-describing and supports the value types a result set can
+contain: ``None``, booleans, integers, floats, strings, byte strings, lists
+and string-keyed dictionaries.  Frames are ``MAGIC | length | payload``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, BinaryIO
+
+from ..errors import WireFormatError
+
+#: Frame magic marker (helps catch stream desynchronisation early).
+MAGIC = b"dU"
+
+#: Type tags used by the value codec.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+_MAX_FRAME = 1 << 31  # defensive upper bound on frame sizes
+
+
+# --------------------------------------------------------------------------- #
+# value codec
+# --------------------------------------------------------------------------- #
+def encode_value(value: Any) -> bytes:
+    """Encode a single value (recursively) to bytes."""
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        data = str(value).encode("ascii")
+        return _TAG_INT + struct.pack(">I", len(data)) + data
+    if isinstance(value, float):
+        return _TAG_FLOAT + struct.pack(">d", value)
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return _TAG_STR + struct.pack(">I", len(data)) + data
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        return _TAG_BYTES + struct.pack(">I", len(data)) + data
+    if isinstance(value, (list, tuple)):
+        parts = [_TAG_LIST, struct.pack(">I", len(value))]
+        for item in value:
+            parts.append(encode_value(item))
+        return b"".join(parts)
+    if isinstance(value, dict):
+        parts = [_TAG_DICT, struct.pack(">I", len(value))]
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireFormatError(f"dictionary keys must be strings, got {key!r}")
+            parts.append(encode_value(key))
+            parts.append(encode_value(item))
+        return b"".join(parts)
+    # numpy scalars and arrays reach the protocol from UDF results; normalise
+    # them rather than rejecting.
+    item_method = getattr(value, "item", None)
+    if callable(item_method) and getattr(value, "shape", None) == ():
+        return encode_value(value.item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return encode_value(tolist())
+    raise WireFormatError(f"cannot encode value of type {type(value).__name__}")
+
+
+class _Reader:
+    """Sequential reader over a bytes buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def read(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise WireFormatError("truncated payload")
+        chunk = self.data[self.offset:self.offset + count]
+        self.offset += count
+        return chunk
+
+    def read_length(self) -> int:
+        return struct.unpack(">I", self.read(4))[0]
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a single value; the payload must be fully consumed."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if reader.offset != len(data):
+        raise WireFormatError(
+            f"trailing garbage after value ({len(data) - reader.offset} bytes)"
+        )
+    return value
+
+
+def _decode(reader: _Reader) -> Any:
+    tag = reader.read(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return int(reader.read(reader.read_length()).decode("ascii"))
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.read(8))[0]
+    if tag == _TAG_STR:
+        return reader.read(reader.read_length()).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return reader.read(reader.read_length())
+    if tag == _TAG_LIST:
+        count = reader.read_length()
+        return [_decode(reader) for _ in range(count)]
+    if tag == _TAG_DICT:
+        count = reader.read_length()
+        result = {}
+        for _ in range(count):
+            key = _decode(reader)
+            result[key] = _decode(reader)
+        return result
+    raise WireFormatError(f"unknown type tag {tag!r}")
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a payload in a length-prefixed frame."""
+    if len(payload) >= _MAX_FRAME:
+        raise WireFormatError("frame too large")
+    return MAGIC + struct.pack(">I", len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[bytes, bytes]:
+    """Split one frame off the front of ``data``; returns (payload, rest)."""
+    if len(data) < 6:
+        raise WireFormatError("incomplete frame header")
+    if data[:2] != MAGIC:
+        raise WireFormatError("bad frame magic")
+    (length,) = struct.unpack(">I", data[2:6])
+    if len(data) < 6 + length:
+        raise WireFormatError("incomplete frame payload")
+    return data[6:6 + length], data[6 + length:]
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> int:
+    """Write one frame to a binary stream; returns bytes written."""
+    frame = encode_frame(payload)
+    stream.write(frame)
+    stream.flush()
+    return len(frame)
+
+
+def read_frame(stream: BinaryIO) -> bytes:
+    """Read exactly one frame from a binary stream."""
+    header = _read_exact(stream, 6)
+    if header[:2] != MAGIC:
+        raise WireFormatError("bad frame magic")
+    (length,) = struct.unpack(">I", header[2:6])
+    return _read_exact(stream, length)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise WireFormatError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# --------------------------------------------------------------------------- #
+# message helpers
+# --------------------------------------------------------------------------- #
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Encode a message dict into a framed payload."""
+    return encode_frame(encode_value(message))
+
+
+def decode_message(frame_payload: bytes) -> dict[str, Any]:
+    """Decode a frame payload back into a message dict."""
+    value = decode_value(frame_payload)
+    if not isinstance(value, dict):
+        raise WireFormatError("message payload is not a dictionary")
+    return value

@@ -1,0 +1,42 @@
+"""``repro.sqldb`` — an embedded, MonetDB-flavoured columnar SQL engine.
+
+This package is the substrate the devUDF reproduction runs against: it stores
+tables column-at-a-time, registers ``LANGUAGE PYTHON`` UDFs whose *body only*
+lives in the ``sys.functions`` meta table, executes them operator-at-a-time
+with numpy-array inputs, and supports loopback queries through the ``_conn``
+object — the MonetDB/Python behaviours the paper relies on.
+"""
+
+from .catalog import CatalogFunction, FunctionCatalog, make_signature
+from .database import Database
+from .parser import parse_script, parse_statement
+from .result import QueryResult, ResultColumn
+from .schema import ColumnDef, FunctionParameter, FunctionSignature, TableSchema
+from .storage import Column, Storage, Table
+from .types import ColumnType, SQLType, parse_type_name
+from .udf import LoopbackConnection, UDFRuntime, build_udf_source, compile_udf
+
+__all__ = [
+    "CatalogFunction",
+    "Column",
+    "ColumnDef",
+    "ColumnType",
+    "Database",
+    "FunctionCatalog",
+    "FunctionParameter",
+    "FunctionSignature",
+    "LoopbackConnection",
+    "QueryResult",
+    "ResultColumn",
+    "SQLType",
+    "Storage",
+    "Table",
+    "TableSchema",
+    "UDFRuntime",
+    "build_udf_source",
+    "compile_udf",
+    "make_signature",
+    "parse_script",
+    "parse_statement",
+    "parse_type_name",
+]

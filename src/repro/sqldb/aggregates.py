@@ -1,0 +1,111 @@
+"""Aggregate functions for GROUP BY / implicit aggregation queries."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from ..errors import ExecutionError
+
+AggregateFunction = Callable[[Sequence[Any]], Any]
+
+
+def _non_null(values: Sequence[Any]) -> list[Any]:
+    return [value for value in values if value is not None]
+
+
+def _agg_sum(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    return sum(present) if present else None
+
+
+def _agg_avg(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    return sum(present) / len(present) if present else None
+
+
+def _agg_min(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    return min(present) if present else None
+
+
+def _agg_max(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    return max(present) if present else None
+
+
+def _agg_count(values: Sequence[Any]) -> int:
+    return len(_non_null(values))
+
+
+def _agg_count_star(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def _agg_median(values: Sequence[Any]) -> Any:
+    present = sorted(_non_null(values))
+    if not present:
+        return None
+    mid = len(present) // 2
+    if len(present) % 2 == 1:
+        return present[mid]
+    return (present[mid - 1] + present[mid]) / 2
+
+
+def _agg_stddev(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    if len(present) < 2:
+        return None
+    mean = sum(present) / len(present)
+    variance = sum((v - mean) ** 2 for v in present) / (len(present) - 1)
+    return math.sqrt(variance)
+
+
+def _agg_var(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    if len(present) < 2:
+        return None
+    mean = sum(present) / len(present)
+    return sum((v - mean) ** 2 for v in present) / (len(present) - 1)
+
+
+def _agg_group_concat(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    return ",".join(str(v) for v in present) if present else None
+
+
+#: Aggregate name -> implementation over the list of per-row argument values.
+AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
+    "SUM": _agg_sum,
+    "AVG": _agg_avg,
+    "MIN": _agg_min,
+    "MAX": _agg_max,
+    "COUNT": _agg_count,
+    "MEDIAN": _agg_median,
+    "STDDEV": _agg_stddev,
+    "STDDEV_SAMP": _agg_stddev,
+    "VAR_SAMP": _agg_var,
+    "VARIANCE": _agg_var,
+    "GROUP_CONCAT": _agg_group_concat,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    return name.upper() in AGGREGATE_FUNCTIONS
+
+
+def call_aggregate(name: str, values: Sequence[Any], *, is_star: bool = False,
+                   distinct: bool = False) -> Any:
+    """Evaluate an aggregate over the per-row values of its argument."""
+    upper = name.upper()
+    if upper not in AGGREGATE_FUNCTIONS:
+        raise ExecutionError(f"unknown aggregate {name!r}")
+    if distinct:
+        seen: list[Any] = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+    if upper == "COUNT" and is_star:
+        return _agg_count_star(values)
+    return AGGREGATE_FUNCTIONS[upper](values)

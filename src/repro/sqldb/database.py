@@ -1,0 +1,119 @@
+"""The embedded database facade.
+
+A :class:`Database` owns the storage, the function catalog and the UDF
+runtime, and executes SQL text end-to-end.  This is the stand-in for the
+MonetDB server process devUDF connects to; :mod:`repro.netproto` wraps it in a
+client/server protocol so the plugin-side code talks to it exactly like it
+would talk to a remote server.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any
+
+from ..errors import ExecutionError
+from . import ast_nodes as ast
+from .catalog import FunctionCatalog
+from .executor import Executor
+from .parser import parse_script, parse_statement
+from .result import QueryResult
+from .schema import FunctionSignature
+from .storage import Storage
+from .udf import UDFRuntime
+
+
+class Database:
+    """An embedded, in-memory, MonetDB-flavoured SQL database."""
+
+    def __init__(self, name: str = "demo") -> None:
+        self.name = name
+        self.storage = Storage()
+        self.catalog = FunctionCatalog()
+        self.udf_runtime = UDFRuntime(self)
+        self._executor = Executor(self)
+        self._lock = threading.RLock()
+        #: Count of executed statements, used by the workflow simulators to
+        #: report "server round trips".
+        self.statements_executed = 0
+        self.query_log: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # SQL execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, parameters: tuple | dict | None = None) -> QueryResult:
+        """Parse and execute a single SQL statement."""
+        if parameters:
+            sql = _apply_parameters(sql, parameters)
+        with self._lock:
+            self.statements_executed += 1
+            self.query_log.append(sql)
+            statement = parse_statement(sql)
+            return self._executor.execute(statement)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a semicolon-separated script; returns one result per statement."""
+        with self._lock:
+            statements = parse_script(sql)
+            results = []
+            for statement in statements:
+                self.statements_executed += 1
+                results.append(self._executor.execute(statement))
+            return results
+
+    def execute_select(self, select: ast.Select) -> QueryResult:
+        """Execute an already-parsed SELECT (used for subqueries and loopback)."""
+        return self._executor.execute_select(select)
+
+    # ------------------------------------------------------------------ #
+    # convenience helpers used throughout the reproduction
+    # ------------------------------------------------------------------ #
+    def create_function(self, signature: FunctionSignature, *, replace: bool = True) -> None:
+        """Register a UDF directly from a signature object (bypassing SQL)."""
+        self.catalog.register(signature, replace=replace)
+        self.udf_runtime.invalidate(signature.name)
+
+    def table_names(self) -> list[str]:
+        return self.storage.table_names()
+
+    def function_names(self) -> list[str]:
+        return self.catalog.names()
+
+    def has_function(self, name: str) -> bool:
+        return self.catalog.has(name)
+
+    def row_count(self, table_name: str) -> int:
+        return self.storage.table(table_name).row_count
+
+    def reset_counters(self) -> None:
+        self.statements_executed = 0
+        self.query_log.clear()
+        self.udf_runtime.invocation_counts.clear()
+
+
+def _apply_parameters(sql: str, parameters: tuple | dict) -> str:
+    """Very small client-side parameter substitution (printf-style).
+
+    The paper's Listing 3 uses ``%d`` substitution inside the UDF's loopback
+    query; the client protocol uses the same convention, so it lives here.
+    """
+    def quote(value: Any) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, (int, float)):
+            return str(value)
+        escaped = str(value).replace("'", "''")
+        return f"'{escaped}'"
+
+    # Normalise printf-style placeholders (%d / %f / %i) to %s so every bound
+    # value goes through SQL quoting, then substitute.
+    normalised = re.sub(r"%[dfi]", "%s", sql)
+    try:
+        if isinstance(parameters, dict):
+            return normalised % {key: quote(value) for key, value in parameters.items()}
+        return normalised % tuple(quote(value) for value in parameters)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ExecutionError(f"cannot bind parameters {parameters!r}: {exc}") from exc

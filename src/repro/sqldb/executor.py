@@ -1,0 +1,569 @@
+"""Statement execution: the operator-at-a-time query engine.
+
+The executor turns parsed statements into :class:`QueryResult` objects.  It is
+deliberately a straightforward columnar interpreter — the devUDF workflows the
+paper describes need correct MonetDB-like *semantics* (meta tables, Python UDF
+invocation with whole columns, loopback queries, table-producing UDFs with
+subquery arguments), not MonetDB-like performance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..errors import CatalogError, ExecutionError
+from . import ast_nodes as ast
+from .catalog import FunctionCatalog
+from .csvio import load_csv_into_table
+from .expressions import (
+    Batch,
+    BatchColumn,
+    EvalResult,
+    ExpressionEvaluator,
+    default_output_name,
+    expression_contains_aggregate,
+)
+from .result import QueryResult, ResultColumn
+from .schema import ColumnDef, FunctionSignature, TableSchema
+from .storage import Storage, Table
+from .types import ColumnType, SQLType, infer_sql_type
+from .udf import convert_table_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import Database
+
+
+#: Schemas of the virtual meta tables exposed by the catalog (Listing 1).
+_SYS_FUNCTIONS_SCHEMA = [
+    ("id", SQLType.INTEGER),
+    ("name", SQLType.STRING),
+    ("func", SQLType.STRING),
+    ("mod", SQLType.STRING),
+    ("language", SQLType.INTEGER),
+    ("type", SQLType.INTEGER),
+]
+
+_SYS_ARGS_SCHEMA = [
+    ("id", SQLType.INTEGER),
+    ("func_id", SQLType.INTEGER),
+    ("name", SQLType.STRING),
+    ("type", SQLType.STRING),
+    ("number", SQLType.INTEGER),
+    ("inout", SQLType.INTEGER),
+]
+
+_SYS_TABLES_SCHEMA = [
+    ("id", SQLType.INTEGER),
+    ("name", SQLType.STRING),
+    ("row_count", SQLType.BIGINT),
+]
+
+
+class Executor:
+    """Executes parsed statements against a :class:`Database`."""
+
+    def __init__(self, database: "Database") -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------ #
+    # shortcuts
+    # ------------------------------------------------------------------ #
+    @property
+    def storage(self) -> Storage:
+        return self.database.storage
+
+    @property
+    def catalog(self) -> FunctionCatalog:
+        return self.database.catalog
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def execute(self, statement: ast.Statement) -> QueryResult:
+        if isinstance(statement, ast.Select):
+            return self.execute_select(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.storage.drop_table(statement.name, if_exists=statement.if_exists)
+            return QueryResult.empty(statement_type="DROP TABLE")
+        if isinstance(statement, ast.InsertValues):
+            return self._execute_insert_values(statement)
+        if isinstance(statement, ast.InsertSelect):
+            return self._execute_insert_select(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.CreateFunction):
+            return self._execute_create_function(statement)
+        if isinstance(statement, ast.DropFunction):
+            self.catalog.drop(statement.name, if_exists=statement.if_exists)
+            self.database.udf_runtime.invalidate(statement.name)
+            return QueryResult.empty(statement_type="DROP FUNCTION")
+        if isinstance(statement, ast.CopyInto):
+            return self._execute_copy(statement)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # DDL / DML
+    # ------------------------------------------------------------------ #
+    def _execute_create_table(self, statement: ast.CreateTable) -> QueryResult:
+        if statement.as_select is not None:
+            result = self.execute_select(statement.as_select)
+            columns = [
+                ColumnDef(col.name, ColumnType(col.sql_type)) for col in result.columns
+            ]
+            table = self.storage.create_table(
+                TableSchema(statement.name, columns), if_not_exists=statement.if_not_exists
+            )
+            for row in result.rows():
+                table.insert_row(row)
+            return QueryResult.empty(affected_rows=result.row_count,
+                                     statement_type="CREATE TABLE AS")
+        schema = TableSchema(statement.name, list(statement.columns))
+        self.storage.create_table(schema, if_not_exists=statement.if_not_exists)
+        return QueryResult.empty(statement_type="CREATE TABLE")
+
+    def _execute_insert_values(self, statement: ast.InsertValues) -> QueryResult:
+        table = self.storage.table(statement.table)
+        evaluator = ExpressionEvaluator(self.database, Batch.empty())
+        inserted = 0
+        for row_exprs in statement.rows:
+            values = [evaluator.evaluate(expr).values[0] for expr in row_exprs]
+            full_row = self._align_insert_row(table, statement.columns, values)
+            table.insert_row(full_row)
+            inserted += 1
+        return QueryResult.empty(affected_rows=inserted, statement_type="INSERT")
+
+    def _execute_insert_select(self, statement: ast.InsertSelect) -> QueryResult:
+        table = self.storage.table(statement.table)
+        result = self.execute_select(statement.query)
+        inserted = 0
+        for row in result.rows():
+            full_row = self._align_insert_row(table, statement.columns, list(row))
+            table.insert_row(full_row)
+            inserted += 1
+        return QueryResult.empty(affected_rows=inserted, statement_type="INSERT")
+
+    @staticmethod
+    def _align_insert_row(table: Table, columns: Sequence[str],
+                          values: Sequence[Any]) -> list[Any]:
+        if not columns:
+            if len(values) != len(table.columns):
+                raise ExecutionError(
+                    f"INSERT into {table.name!r}: expected {len(table.columns)} values, "
+                    f"got {len(values)}"
+                )
+            return list(values)
+        if len(columns) != len(values):
+            raise ExecutionError("INSERT column list and VALUES length mismatch")
+        row: list[Any] = [None] * len(table.columns)
+        for column_name, value in zip(columns, values):
+            row[table.schema.column_index(column_name)] = value
+        return row
+
+    def _execute_delete(self, statement: ast.Delete) -> QueryResult:
+        table = self.storage.table(statement.table)
+        if statement.where is None:
+            removed = table.row_count
+            table.truncate()
+            return QueryResult.empty(affected_rows=removed, statement_type="DELETE")
+        batch = self._batch_from_table(table, alias=table.name)
+        evaluator = ExpressionEvaluator(self.database, batch)
+        mask = evaluator.evaluate_mask(statement.where)
+        keep = [not selected for selected in mask]
+        removed = table.delete_rows(keep)
+        return QueryResult.empty(affected_rows=removed, statement_type="DELETE")
+
+    def _execute_update(self, statement: ast.Update) -> QueryResult:
+        table = self.storage.table(statement.table)
+        batch = self._batch_from_table(table, alias=table.name)
+        evaluator = ExpressionEvaluator(self.database, batch)
+        if statement.where is not None:
+            mask = evaluator.evaluate_mask(statement.where)
+        else:
+            mask = [True] * table.row_count
+        assignments: dict[str, list[Any]] = {}
+        for column_name, expression in statement.assignments:
+            result = evaluator.evaluate(expression)
+            assignments[column_name] = result.broadcast(table.row_count)
+        updated = table.update_rows(mask, assignments)
+        return QueryResult.empty(affected_rows=updated, statement_type="UPDATE")
+
+    def _execute_create_function(self, statement: ast.CreateFunction) -> QueryResult:
+        signature = FunctionSignature(
+            name=statement.name,
+            parameters=list(statement.parameters),
+            returns_table=statement.returns_table,
+            return_columns=list(statement.return_columns),
+            return_type=statement.return_type,
+            language=statement.language,
+            body=statement.body,
+        )
+        self.catalog.register(signature, replace=statement.or_replace)
+        self.database.udf_runtime.invalidate(statement.name)
+        return QueryResult.empty(statement_type="CREATE FUNCTION")
+
+    def _execute_copy(self, statement: ast.CopyInto) -> QueryResult:
+        table = self.storage.table(statement.table)
+        loaded = load_csv_into_table(table, statement.path,
+                                     delimiter=statement.delimiter,
+                                     header=statement.header)
+        return QueryResult.empty(affected_rows=loaded, statement_type="COPY INTO")
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def execute_select(self, select: ast.Select) -> QueryResult:
+        batch = self._resolve_from(select.from_clause)
+
+        if select.where is not None:
+            evaluator = ExpressionEvaluator(self.database, batch)
+            batch = batch.filter(evaluator.evaluate_mask(select.where))
+
+        has_aggregates = any(
+            expression_contains_aggregate(item.expression)
+            for item in select.items
+            if not isinstance(item.expression, ast.Star)
+        ) or (select.having is not None and expression_contains_aggregate(select.having))
+
+        if select.group_by or has_aggregates:
+            result = self._execute_grouped(select, batch)
+        else:
+            result = self._execute_projection(select, batch)
+
+        if select.distinct:
+            result = _distinct(result)
+        if select.order_by:
+            result = self._apply_order_by(select, result, batch)
+        if select.offset is not None:
+            result = _slice_result(result, select.offset, None)
+        if select.limit is not None:
+            result = _slice_result(result, 0, select.limit)
+        return result
+
+    # -- projection -------------------------------------------------------- #
+    def _execute_projection(self, select: ast.Select, batch: Batch) -> QueryResult:
+        evaluator = ExpressionEvaluator(self.database, batch)
+        names: list[str] = []
+        results: list[EvalResult] = []
+        for index, item in enumerate(select.items):
+            if isinstance(item.expression, ast.Star):
+                for column in batch.columns_for(item.expression.table):
+                    names.append(column.name)
+                    results.append(EvalResult(list(column.values), constant=False,
+                                              sql_type=column.sql_type))
+                continue
+            result = evaluator.evaluate(item.expression)
+            names.append(item.alias or default_output_name(item.expression, index))
+            results.append(result)
+
+        if not results:
+            return QueryResult([])
+
+        non_constant_lengths = [len(r) for r in results if not r.constant]
+        if non_constant_lengths:
+            output_length = max(non_constant_lengths)
+        else:
+            output_length = max(len(r) for r in results)
+        columns = []
+        for name, result in zip(names, results):
+            values = result.broadcast(output_length)
+            sql_type = result.sql_type or _infer_column_type(values)
+            columns.append(ResultColumn(name, sql_type, list(values)))
+        return QueryResult(columns)
+
+    # -- grouping ----------------------------------------------------------- #
+    def _execute_grouped(self, select: ast.Select, batch: Batch) -> QueryResult:
+        evaluator = ExpressionEvaluator(self.database, batch)
+        if select.group_by:
+            key_columns = [
+                evaluator.evaluate(expr).broadcast(batch.row_count)
+                for expr in select.group_by
+            ]
+            groups: dict[tuple, list[int]] = {}
+            for row_index in range(batch.row_count):
+                key = tuple(column[row_index] for column in key_columns)
+                groups.setdefault(key, []).append(row_index)
+            group_indices = list(groups.values())
+        else:
+            group_indices = [list(range(batch.row_count))]
+
+        names: list[str] = []
+        first = True
+        rows: list[list[Any]] = []
+        for indices in group_indices:
+            group_batch = batch.take(indices)
+            group_evaluator = ExpressionEvaluator(self.database, group_batch,
+                                                  allow_aggregates=True)
+            if select.having is not None:
+                having = group_evaluator.evaluate(select.having)
+                keep = having.values[0] if having.values else False
+                if not (keep is True or keep == 1):
+                    continue
+            row: list[Any] = []
+            for index, item in enumerate(select.items):
+                if isinstance(item.expression, ast.Star):
+                    raise ExecutionError("'*' cannot be combined with GROUP BY")
+                value_result = group_evaluator.evaluate(item.expression)
+                if expression_contains_aggregate(item.expression):
+                    value = value_result.values[0]
+                else:
+                    value = value_result.values[0] if value_result.values else None
+                row.append(value)
+                if first:
+                    names.append(item.alias or default_output_name(item.expression, index))
+            first = False
+            rows.append(row)
+
+        if not names:
+            names = [
+                item.alias or default_output_name(item.expression, index)
+                for index, item in enumerate(select.items)
+            ]
+        columns = []
+        for column_index, name in enumerate(names):
+            values = [row[column_index] for row in rows]
+            columns.append(ResultColumn(name, _infer_column_type(values), values))
+        return QueryResult(columns)
+
+    # -- ORDER BY ------------------------------------------------------------ #
+    def _apply_order_by(self, select: ast.Select, result: QueryResult,
+                        batch: Batch) -> QueryResult:
+        row_count = result.row_count
+        keys: list[list[Any]] = []
+        for order_item in select.order_by:
+            values = self._order_key_values(order_item.expression, result, batch, row_count)
+            keys.append(values)
+
+        indices = list(range(row_count))
+
+        def sort_key(index: int):
+            parts = []
+            for key_values, order_item in zip(keys, select.order_by):
+                value = key_values[index]
+                none_rank = 1 if value is None else 0
+                parts.append((none_rank, value if value is not None else 0))
+            return tuple(parts)
+
+        for position in range(len(select.order_by) - 1, -1, -1):
+            order_item = select.order_by[position]
+            key_values = keys[position]
+            indices.sort(
+                key=lambda i: ((key_values[i] is None), key_values[i]
+                               if key_values[i] is not None else 0),
+                reverse=order_item.descending,
+            )
+        columns = [
+            ResultColumn(col.name, col.sql_type, [col.values[i] for i in indices])
+            for col in result.columns
+        ]
+        return QueryResult(columns)
+
+    def _order_key_values(self, expression: ast.Expression, result: QueryResult,
+                          batch: Batch, row_count: int) -> list[Any]:
+        if isinstance(expression, ast.ColumnRef) and expression.table is None:
+            lowered = expression.name.lower()
+            for column in result.columns:
+                if column.name.lower() == lowered:
+                    return list(column.values)
+        if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+            position = expression.value - 1
+            if 0 <= position < result.column_count:
+                return list(result.columns[position].values)
+        evaluator = ExpressionEvaluator(self.database, batch, allow_aggregates=False)
+        values = evaluator.evaluate(expression).broadcast(batch.row_count)
+        if len(values) != row_count:
+            raise ExecutionError("ORDER BY expression length mismatch")
+        return values
+
+    # ------------------------------------------------------------------ #
+    # FROM clause resolution
+    # ------------------------------------------------------------------ #
+    def _resolve_from(self, from_clause: ast.TableRef | None) -> Batch:
+        if from_clause is None:
+            return Batch.empty()
+        if isinstance(from_clause, ast.NamedTable):
+            return self._batch_from_named(from_clause)
+        if isinstance(from_clause, ast.SubquerySource):
+            result = self.execute_select(from_clause.query)
+            return _batch_from_result(result, from_clause.alias)
+        if isinstance(from_clause, ast.TableFunctionCall):
+            return self._batch_from_table_function(from_clause)
+        if isinstance(from_clause, ast.Join):
+            return self._batch_from_join(from_clause)
+        raise ExecutionError(f"unsupported FROM item {type(from_clause).__name__}")
+
+    def _batch_from_named(self, ref: ast.NamedTable) -> Batch:
+        name = ref.name
+        alias = ref.alias or name.split(".")[-1]
+        virtual = self._virtual_table(name)
+        if virtual is not None:
+            schema, rows = virtual
+            columns = [
+                BatchColumn(alias, column_name, sql_type,
+                            [row[i] for row in rows])
+                for i, (column_name, sql_type) in enumerate(schema)
+            ]
+            return Batch(columns, row_count=len(rows))
+        table = self.storage.table(name)
+        return self._batch_from_table(table, alias=alias)
+
+    def _virtual_table(self, name: str) -> tuple[list[tuple[str, SQLType]], list[tuple]] | None:
+        lowered = name.lower()
+        if lowered in ("sys.functions", "functions"):
+            return _SYS_FUNCTIONS_SCHEMA, self.catalog.sys_functions_rows()
+        if lowered in ("sys.args", "args"):
+            return _SYS_ARGS_SCHEMA, self.catalog.sys_args_rows()
+        if lowered in ("sys.tables", "tables"):
+            rows = [
+                (index, table_name, self.storage.table(table_name).row_count)
+                for index, table_name in enumerate(self.storage.table_names())
+            ]
+            return _SYS_TABLES_SCHEMA, rows
+        return None
+
+    @staticmethod
+    def _batch_from_table(table: Table, *, alias: str) -> Batch:
+        columns = [
+            BatchColumn(alias, column.name, column.sql_type, list(column.values))
+            for column in table.columns
+        ]
+        return Batch(columns, row_count=table.row_count)
+
+    def _batch_from_table_function(self, ref: ast.TableFunctionCall) -> Batch:
+        if not self.catalog.has(ref.name):
+            raise CatalogError(f"unknown table function {ref.name!r}")
+        signature = self.catalog.get(ref.name).signature
+        alias = ref.alias or ref.name
+
+        # Evaluate arguments: subqueries contribute one argument per result
+        # column (MonetDB flattens them positionally); scalar expressions are
+        # evaluated as constants.
+        arg_values: list[Any] = []
+        for arg in ref.args:
+            if isinstance(arg, ast.Select):
+                sub_result = self.execute_select(arg)
+                for column in sub_result.columns:
+                    arg_values.append(column.to_numpy())
+            else:
+                evaluator = ExpressionEvaluator(self.database, Batch.empty())
+                arg_values.append(evaluator.evaluate(arg).values[0])
+
+        if len(arg_values) != len(signature.parameters):
+            raise ExecutionError(
+                f"table function {ref.name!r} expects {len(signature.parameters)} "
+                f"arguments, got {len(arg_values)}"
+            )
+        raw = self.database.udf_runtime.invoke(signature, arg_values)
+
+        if signature.returns_table:
+            column_data = convert_table_result(signature, raw)
+            columns = [
+                BatchColumn(alias, column_name, signature.return_columns[i].sql_type,
+                            values)
+                for i, (column_name, values) in enumerate(column_data.items())
+            ]
+            row_count = len(columns[0].values) if columns else 0
+            return Batch(columns, row_count=row_count)
+
+        # Scalar function used in FROM: expose its result as a one-column table.
+        from .udf import convert_scalar_result
+
+        values, _ = convert_scalar_result(signature, raw, 0)
+        column = BatchColumn(alias, signature.name,
+                             signature.return_type or SQLType.DOUBLE, values)
+        return Batch([column], row_count=len(values))
+
+    def _batch_from_join(self, join: ast.Join) -> Batch:
+        left = self._resolve_from(join.left)
+        right = self._resolve_from(join.right)
+        join_type = join.join_type.upper()
+
+        left_indices: list[int] = []
+        right_indices: list[int | None] = []
+        if join_type == "CROSS" or join.condition is None:
+            for li in range(left.row_count):
+                for ri in range(right.row_count):
+                    left_indices.append(li)
+                    right_indices.append(ri)
+        else:
+            matched_left: set[int] = set()
+            combined_template = Batch(
+                [BatchColumn(c.table, c.name, c.sql_type, []) for c in left.columns]
+                + [BatchColumn(c.table, c.name, c.sql_type, []) for c in right.columns],
+                row_count=0,
+            )
+            for li in range(left.row_count):
+                for ri in range(right.row_count):
+                    row_batch = Batch(
+                        [BatchColumn(c.table, c.name, c.sql_type, [c.values[li]])
+                         for c in left.columns]
+                        + [BatchColumn(c.table, c.name, c.sql_type, [c.values[ri]])
+                           for c in right.columns],
+                        row_count=1,
+                    )
+                    evaluator = ExpressionEvaluator(self.database, row_batch)
+                    mask = evaluator.evaluate_mask(join.condition)
+                    if mask and mask[0]:
+                        left_indices.append(li)
+                        right_indices.append(ri)
+                        matched_left.add(li)
+            if join_type == "LEFT":
+                for li in range(left.row_count):
+                    if li not in matched_left:
+                        left_indices.append(li)
+                        right_indices.append(None)
+            _ = combined_template  # template kept for clarity; not otherwise needed
+
+        columns: list[BatchColumn] = []
+        for column in left.columns:
+            columns.append(BatchColumn(column.table, column.name, column.sql_type,
+                                       [column.values[i] for i in left_indices]))
+        for column in right.columns:
+            values = [
+                None if i is None else column.values[i] for i in right_indices
+            ]
+            columns.append(BatchColumn(column.table, column.name, column.sql_type, values))
+        return Batch(columns, row_count=len(left_indices))
+
+
+# --------------------------------------------------------------------------- #
+# result helpers
+# --------------------------------------------------------------------------- #
+def _infer_column_type(values: Sequence[Any]) -> SQLType:
+    sample = next((value for value in values if value is not None), None)
+    return infer_sql_type(sample) if sample is not None else SQLType.STRING
+
+
+def _batch_from_result(result: QueryResult, alias: str | None) -> Batch:
+    columns = [
+        BatchColumn(alias, column.name, column.sql_type, list(column.values))
+        for column in result.columns
+    ]
+    return Batch(columns, row_count=result.row_count)
+
+
+def _distinct(result: QueryResult) -> QueryResult:
+    seen: set[tuple] = set()
+    keep_indices: list[int] = []
+    for index, row in enumerate(result.rows()):
+        key = tuple(row)
+        if key not in seen:
+            seen.add(key)
+            keep_indices.append(index)
+    columns = [
+        ResultColumn(col.name, col.sql_type, [col.values[i] for i in keep_indices])
+        for col in result.columns
+    ]
+    return QueryResult(columns)
+
+
+def _slice_result(result: QueryResult, offset: int, limit: int | None) -> QueryResult:
+    end = None if limit is None else offset + limit
+    columns = [
+        ResultColumn(col.name, col.sql_type, col.values[offset:end])
+        for col in result.columns
+    ]
+    return QueryResult(columns)

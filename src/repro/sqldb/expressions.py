@@ -1,0 +1,536 @@
+"""Vectorised (column-at-a-time) expression evaluation.
+
+The evaluator works on a :class:`Batch` — the columnar intermediate produced
+by the FROM clause — and returns one value list per expression.  Scalar Python
+UDFs referenced in expressions are invoked **once per operator call** with
+whole columns, which is the MonetDB operator-at-a-time behaviour the paper's
+§2.4 contrasts with tuple-at-a-time engines.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..errors import ExecutionError
+from . import ast_nodes as ast
+from .aggregates import call_aggregate, is_aggregate
+from .functions import call_builtin_scalar, is_builtin_scalar
+from .types import SQLType, infer_sql_type
+from .udf import columns_to_udf_args, convert_scalar_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .database import Database
+
+
+# --------------------------------------------------------------------------- #
+# Batch: the columnar intermediate
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchColumn:
+    """One column inside a batch, qualified by its source table alias."""
+
+    table: str | None
+    name: str
+    sql_type: SQLType
+    values: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Batch:
+    """A set of equally-long columns flowing between operators."""
+
+    def __init__(self, columns: Sequence[BatchColumn] | None = None,
+                 row_count: int | None = None) -> None:
+        self.columns: list[BatchColumn] = list(columns or [])
+        if row_count is not None:
+            self.row_count = row_count
+        else:
+            self.row_count = len(self.columns[0]) if self.columns else 0
+        for column in self.columns:
+            if len(column) != self.row_count:
+                raise ExecutionError(
+                    f"batch column {column.name!r} has {len(column)} rows, "
+                    f"expected {self.row_count}"
+                )
+
+    # -- construction ---------------------------------------------------- #
+    @classmethod
+    def empty(cls) -> "Batch":
+        """A batch with no columns and a single row (for FROM-less SELECTs)."""
+        return cls([], row_count=1)
+
+    def add_column(self, column: BatchColumn) -> None:
+        if self.columns and len(column) != self.row_count:
+            raise ExecutionError("column length mismatch when extending batch")
+        if not self.columns:
+            self.row_count = len(column)
+        self.columns.append(column)
+
+    # -- name resolution -------------------------------------------------- #
+    def resolve(self, name: str, table: str | None = None) -> BatchColumn:
+        lowered = name.lower()
+        table_lowered = table.lower() if table else None
+        matches = [
+            column for column in self.columns
+            if column.name.lower() == lowered
+            and (table_lowered is None or (column.table or "").lower() == table_lowered)
+        ]
+        if not matches:
+            qualifier = f"{table}." if table else ""
+            raise ExecutionError(f"unknown column {qualifier}{name!r}")
+        if len(matches) > 1 and table_lowered is None:
+            tables = sorted({column.table or "?" for column in matches})
+            raise ExecutionError(f"ambiguous column {name!r} (found in {tables})")
+        return matches[0]
+
+    def columns_for(self, table: str | None = None) -> list[BatchColumn]:
+        if table is None:
+            return list(self.columns)
+        lowered = table.lower()
+        selected = [c for c in self.columns if (c.table or "").lower() == lowered]
+        if not selected:
+            raise ExecutionError(f"unknown table alias {table!r}")
+        return selected
+
+    # -- row operations --------------------------------------------------- #
+    def take(self, indices: Sequence[int]) -> "Batch":
+        columns = [
+            BatchColumn(c.table, c.name, c.sql_type, [c.values[i] for i in indices])
+            for c in self.columns
+        ]
+        return Batch(columns, row_count=len(indices))
+
+    def filter(self, mask: Sequence[Any]) -> "Batch":
+        indices = [index for index, keep in enumerate(mask) if keep is True or keep == 1]
+        return self.take(indices)
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        return tuple(column.values[index] for column in self.columns)
+
+
+# --------------------------------------------------------------------------- #
+# Evaluation results
+# --------------------------------------------------------------------------- #
+@dataclass
+class EvalResult:
+    """The outcome of evaluating one expression over a batch."""
+
+    values: list[Any]
+    constant: bool = False
+    sql_type: SQLType | None = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def broadcast(self, length: int) -> list[Any]:
+        if len(self.values) == length:
+            return self.values
+        if len(self.values) == 1:
+            return self.values * length
+        raise ExecutionError(
+            f"cannot broadcast column of length {len(self.values)} to {length}"
+        )
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    # re.escape leaves '%' and '_' alone on modern Pythons but escaped them on
+    # older ones; handle both spellings before substituting the wildcards.
+    escaped = re.escape(pattern)
+    escaped = escaped.replace(r"\%", "%").replace(r"\_", "_")
+    escaped = escaped.replace("%", ".*").replace("_", ".")
+    return re.compile(f"^{escaped}$", re.DOTALL)
+
+
+def _numeric_result_type(left: SQLType | None, right: SQLType | None, op: str) -> SQLType:
+    if op == "/":
+        return SQLType.DOUBLE
+    if left is not None and right is not None and left.is_numeric and right.is_numeric:
+        if left.is_floating or right.is_floating:
+            return SQLType.DOUBLE
+        return SQLType.BIGINT
+    return SQLType.DOUBLE
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions over a batch, with optional aggregate support."""
+
+    def __init__(self, database: "Database", batch: Batch, *,
+                 allow_aggregates: bool = False) -> None:
+        self.database = database
+        self.batch = batch
+        self.allow_aggregates = allow_aggregates
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def evaluate(self, expression: ast.Expression) -> EvalResult:
+        method = getattr(self, f"_eval_{type(expression).__name__}", None)
+        if method is None:
+            raise ExecutionError(
+                f"unsupported expression node {type(expression).__name__}"
+            )
+        return method(expression)
+
+    def evaluate_mask(self, expression: ast.Expression) -> list[bool]:
+        """Evaluate a predicate and return a boolean mask over the batch rows."""
+        result = self.evaluate(expression)
+        values = result.broadcast(self.batch.row_count)
+        return [value is True or value == 1 for value in values]
+
+    def contains_aggregate(self, expression: ast.Expression) -> bool:
+        return expression_contains_aggregate(expression)
+
+    # ------------------------------------------------------------------ #
+    # leaf nodes
+    # ------------------------------------------------------------------ #
+    def _eval_Literal(self, node: ast.Literal) -> EvalResult:
+        sql_type = infer_sql_type(node.value) if node.value is not None else None
+        return EvalResult([node.value], constant=True, sql_type=sql_type)
+
+    def _eval_ColumnRef(self, node: ast.ColumnRef) -> EvalResult:
+        column = self.batch.resolve(node.name, node.table)
+        return EvalResult(list(column.values), constant=False, sql_type=column.sql_type)
+
+    def _eval_Star(self, node: ast.Star) -> EvalResult:
+        raise ExecutionError("'*' is only valid inside COUNT(*) or a select list")
+
+    # ------------------------------------------------------------------ #
+    # operators
+    # ------------------------------------------------------------------ #
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> EvalResult:
+        operand = self.evaluate(node.operand)
+        if node.op == "-":
+            values = [None if v is None else -v for v in operand.values]
+            return EvalResult(values, operand.constant, operand.sql_type)
+        if node.op == "NOT":
+            values = [None if v is None else (not bool(v)) for v in operand.values]
+            return EvalResult(values, operand.constant, SQLType.BOOLEAN)
+        raise ExecutionError(f"unsupported unary operator {node.op!r}")
+
+    def _eval_BinaryOp(self, node: ast.BinaryOp) -> EvalResult:
+        op = node.op.upper()
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        length = max(len(left), len(right))
+        if not left.constant or not right.constant:
+            length = max(length, 1)
+        left_values = left.broadcast(length)
+        right_values = right.broadcast(length)
+        constant = left.constant and right.constant
+
+        if op in ("AND", "OR"):
+            values = [self._logical(op, l, r) for l, r in zip(left_values, right_values)]
+            return EvalResult(values, constant, SQLType.BOOLEAN)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            values = [self._compare(op, l, r) for l, r in zip(left_values, right_values)]
+            return EvalResult(values, constant, SQLType.BOOLEAN)
+        if op == "||":
+            values = [
+                None if l is None or r is None else str(l) + str(r)
+                for l, r in zip(left_values, right_values)
+            ]
+            return EvalResult(values, constant, SQLType.STRING)
+        if op in ("+", "-", "*", "/", "%"):
+            values = [self._arith(op, l, r) for l, r in zip(left_values, right_values)]
+            sql_type = _numeric_result_type(left.sql_type, right.sql_type, op)
+            return EvalResult(values, constant, sql_type)
+        raise ExecutionError(f"unsupported binary operator {node.op!r}")
+
+    @staticmethod
+    def _logical(op: str, left: Any, right: Any) -> Any:
+        lb = None if left is None else bool(left)
+        rb = None if right is None else bool(right)
+        if op == "AND":
+            if lb is False or rb is False:
+                return False
+            if lb is None or rb is None:
+                return None
+            return True
+        if lb is True or rb is True:
+            return True
+        if lb is None or rb is None:
+            return None
+        return False
+
+    @staticmethod
+    def _compare(op: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise ExecutionError(f"cannot compare {left!r} and {right!r}") from exc
+
+    @staticmethod
+    def _arith(op: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise ExecutionError("division by zero")
+                return left / right
+            if right == 0:
+                raise ExecutionError("modulo by zero")
+            return left % right
+        except TypeError as exc:
+            raise ExecutionError(
+                f"invalid operands for {op!r}: {left!r}, {right!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # predicates and conditionals
+    # ------------------------------------------------------------------ #
+    def _eval_IsNull(self, node: ast.IsNull) -> EvalResult:
+        operand = self.evaluate(node.operand)
+        values = [(v is None) != node.negated for v in operand.values]
+        return EvalResult(values, operand.constant, SQLType.BOOLEAN)
+
+    def _eval_InList(self, node: ast.InList) -> EvalResult:
+        operand = self.evaluate(node.operand)
+        item_results = [self.evaluate(item) for item in node.items]
+        length = max([len(operand)] + [len(r) for r in item_results])
+        operand_values = operand.broadcast(length)
+        item_columns = [r.broadcast(length) for r in item_results]
+        values: list[Any] = []
+        for index, value in enumerate(operand_values):
+            if value is None:
+                values.append(None)
+                continue
+            members = [col[index] for col in item_columns]
+            found = any(member is not None and member == value for member in members)
+            values.append(found != node.negated)
+        constant = operand.constant and all(r.constant for r in item_results)
+        return EvalResult(values, constant, SQLType.BOOLEAN)
+
+    def _eval_Between(self, node: ast.Between) -> EvalResult:
+        operand = self.evaluate(node.operand)
+        lower = self.evaluate(node.lower)
+        upper = self.evaluate(node.upper)
+        length = max(len(operand), len(lower), len(upper))
+        ov = operand.broadcast(length)
+        lv = lower.broadcast(length)
+        uv = upper.broadcast(length)
+        values: list[Any] = []
+        for value, low, high in zip(ov, lv, uv):
+            if value is None or low is None or high is None:
+                values.append(None)
+            else:
+                values.append((low <= value <= high) != node.negated)
+        constant = operand.constant and lower.constant and upper.constant
+        return EvalResult(values, constant, SQLType.BOOLEAN)
+
+    def _eval_Like(self, node: ast.Like) -> EvalResult:
+        operand = self.evaluate(node.operand)
+        pattern = self.evaluate(node.pattern)
+        length = max(len(operand), len(pattern))
+        ov = operand.broadcast(length)
+        pv = pattern.broadcast(length)
+        values: list[Any] = []
+        for value, pat in zip(ov, pv):
+            if value is None or pat is None:
+                values.append(None)
+            else:
+                values.append(bool(_like_to_regex(str(pat)).match(str(value))) != node.negated)
+        return EvalResult(values, operand.constant and pattern.constant, SQLType.BOOLEAN)
+
+    def _eval_CaseExpression(self, node: ast.CaseExpression) -> EvalResult:
+        when_results = [(self.evaluate(cond), self.evaluate(result))
+                        for cond, result in node.whens]
+        default = self.evaluate(node.default) if node.default is not None else None
+        length = 1
+        for cond, result in when_results:
+            length = max(length, len(cond), len(result))
+        if default is not None:
+            length = max(length, len(default))
+        if not all(c.constant and r.constant for c, r in when_results):
+            length = max(length, self.batch.row_count)
+        values: list[Any] = []
+        for index in range(length):
+            chosen: Any = None
+            matched = False
+            for cond, result in when_results:
+                cond_value = cond.broadcast(length)[index]
+                if cond_value is True or cond_value == 1:
+                    chosen = result.broadcast(length)[index]
+                    matched = True
+                    break
+            if not matched and default is not None:
+                chosen = default.broadcast(length)[index]
+            values.append(chosen)
+        return EvalResult(values, constant=False)
+
+    def _eval_Cast(self, node: ast.Cast) -> EvalResult:
+        from .types import coerce_value
+
+        operand = self.evaluate(node.operand)
+        values = [coerce_value(value, node.target_type) for value in operand.values]
+        return EvalResult(values, operand.constant, node.target_type)
+
+    # ------------------------------------------------------------------ #
+    # subqueries
+    # ------------------------------------------------------------------ #
+    def _eval_ScalarSubquery(self, node: ast.ScalarSubquery) -> EvalResult:
+        result = self.database.execute_select(node.query)
+        if result.column_count != 1:
+            raise ExecutionError("scalar subquery must return exactly one column")
+        if result.row_count > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        value = result.columns[0].values[0] if result.row_count == 1 else None
+        return EvalResult([value], constant=True,
+                          sql_type=result.columns[0].sql_type if result.columns else None)
+
+    def _eval_ExistsSubquery(self, node: ast.ExistsSubquery) -> EvalResult:
+        result = self.database.execute_select(node.query)
+        exists = result.row_count > 0
+        return EvalResult([exists != node.negated], constant=True, sql_type=SQLType.BOOLEAN)
+
+    def _eval_InSubquery(self, node: ast.InSubquery) -> EvalResult:
+        result = self.database.execute_select(node.query)
+        if result.column_count != 1:
+            raise ExecutionError("IN subquery must return exactly one column")
+        members = set(value for value in result.columns[0].values if value is not None)
+        operand = self.evaluate(node.operand)
+        values = [
+            None if value is None else ((value in members) != node.negated)
+            for value in operand.values
+        ]
+        return EvalResult(values, operand.constant, SQLType.BOOLEAN)
+
+    # ------------------------------------------------------------------ #
+    # function calls (built-ins, aggregates, Python UDFs)
+    # ------------------------------------------------------------------ #
+    def _eval_FunctionCall(self, node: ast.FunctionCall) -> EvalResult:
+        name = node.name
+        if is_aggregate(name):
+            return self._eval_aggregate(node)
+        if is_builtin_scalar(name):
+            return self._eval_builtin(node)
+        catalog = self.database.catalog
+        if catalog.has(name):
+            return self._eval_python_udf(node)
+        raise ExecutionError(f"unknown function {name!r}")
+
+    def _eval_builtin(self, node: ast.FunctionCall) -> EvalResult:
+        arg_results = [self.evaluate(arg) for arg in node.args]
+        length = max([1] + [len(result) for result in arg_results])
+        if not all(result.constant for result in arg_results):
+            length = max(length, self.batch.row_count)
+        columns = [result.broadcast(length) for result in arg_results]
+        values = [
+            call_builtin_scalar(node.name, [column[index] for column in columns])
+            for index in range(length)
+        ]
+        constant = all(result.constant for result in arg_results)
+        return EvalResult(values, constant)
+
+    def _eval_aggregate(self, node: ast.FunctionCall) -> EvalResult:
+        if not self.allow_aggregates:
+            raise ExecutionError(
+                f"aggregate {node.name!r} is not allowed in this context"
+            )
+        is_star = len(node.args) == 1 and isinstance(node.args[0], ast.Star)
+        if is_star or not node.args:
+            values: Sequence[Any] = [1] * self.batch.row_count
+        else:
+            arg = self.evaluate(node.args[0])
+            values = arg.broadcast(self.batch.row_count)
+        result = call_aggregate(node.name, list(values), is_star=is_star,
+                                distinct=node.distinct)
+        return EvalResult([result], constant=True)
+
+    def _eval_python_udf(self, node: ast.FunctionCall) -> EvalResult:
+        """Invoke a scalar Python UDF operator-at-a-time over the batch."""
+        entry = self.database.catalog.get(node.name)
+        signature = entry.signature
+        if signature.returns_table:
+            raise ExecutionError(
+                f"table-returning function {node.name!r} must be used in the FROM clause"
+            )
+        if len(node.args) != len(signature.parameters):
+            raise ExecutionError(
+                f"function {node.name!r} expects {len(signature.parameters)} arguments, "
+                f"got {len(node.args)}"
+            )
+        arg_results = [self.evaluate(arg) for arg in node.args]
+        arg_values: list[Any] = []
+        arg_is_column: list[bool] = []
+        sql_types: list[SQLType] = []
+        for result, parameter in zip(arg_results, signature.parameters):
+            if result.constant and len(result) == 1:
+                arg_values.append(result.values[0])
+                arg_is_column.append(False)
+            else:
+                arg_values.append(result.broadcast(self.batch.row_count))
+                arg_is_column.append(True)
+            sql_types.append(result.sql_type or parameter.sql_type)
+        udf_args = columns_to_udf_args(arg_values, arg_is_column, sql_types)
+        raw = self.database.udf_runtime.invoke(signature, udf_args)
+        input_length = self.batch.row_count if any(arg_is_column) else 1
+        values, row_aligned = convert_scalar_result(signature, raw, input_length)
+        return EvalResult(values, constant=not row_aligned,
+                          sql_type=signature.return_type)
+
+
+# --------------------------------------------------------------------------- #
+# helpers used by the executor
+# --------------------------------------------------------------------------- #
+def expression_contains_aggregate(expression: ast.Expression) -> bool:
+    """True when the expression tree contains an aggregate function call."""
+    if isinstance(expression, ast.FunctionCall):
+        if is_aggregate(expression.name):
+            return True
+        return any(expression_contains_aggregate(arg) for arg in expression.args)
+    if isinstance(expression, ast.BinaryOp):
+        return (expression_contains_aggregate(expression.left)
+                or expression_contains_aggregate(expression.right))
+    if isinstance(expression, ast.UnaryOp):
+        return expression_contains_aggregate(expression.operand)
+    if isinstance(expression, ast.CaseExpression):
+        for cond, result in expression.whens:
+            if expression_contains_aggregate(cond) or expression_contains_aggregate(result):
+                return True
+        return expression.default is not None and expression_contains_aggregate(expression.default)
+    if isinstance(expression, (ast.InList,)):
+        return expression_contains_aggregate(expression.operand) or any(
+            expression_contains_aggregate(item) for item in expression.items
+        )
+    if isinstance(expression, ast.Between):
+        return any(expression_contains_aggregate(e)
+                   for e in (expression.operand, expression.lower, expression.upper))
+    if isinstance(expression, (ast.IsNull, ast.Like, ast.Cast)):
+        return expression_contains_aggregate(expression.operand)
+    return False
+
+
+def default_output_name(expression: ast.Expression, index: int) -> str:
+    """Derive the output column name MonetDB-style (column name / function name)."""
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name.lower()
+    if isinstance(expression, ast.Cast):
+        return default_output_name(expression.operand, index)
+    if isinstance(expression, ast.Literal):
+        return f"single_value" if index == 0 else f"col{index}"
+    return f"col{index}"

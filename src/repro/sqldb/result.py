@@ -1,0 +1,157 @@
+"""Query results returned by the engine and shipped over the client protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from .storage import column_to_numpy
+from .types import SQLType, infer_sql_type
+
+
+@dataclass
+class ResultColumn:
+    """One column of a query result."""
+
+    name: str
+    sql_type: SQLType
+    values: list[Any] = field(default_factory=list)
+
+    def to_numpy(self) -> np.ndarray:
+        return column_to_numpy(self.values, self.sql_type)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class QueryResult:
+    """A columnar query result.
+
+    Provides both columnar access (``column(name)``, ``to_dict()``) — the
+    natural shape for the devUDF data-extraction path — and row access
+    (``rows()``, ``fetchall()``) for the client-protocol/DB-API style use.
+    """
+
+    def __init__(self, columns: Sequence[ResultColumn] | None = None,
+                 *, affected_rows: int = 0, statement_type: str = "SELECT") -> None:
+        self.columns: list[ResultColumn] = list(columns or [])
+        self.affected_rows = affected_rows
+        self.statement_type = statement_type
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, *, affected_rows: int = 0, statement_type: str = "DDL") -> "QueryResult":
+        return cls([], affected_rows=affected_rows, statement_type=statement_type)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Sequence[Any]],
+                  types: dict[str, SQLType] | None = None) -> "QueryResult":
+        columns = []
+        for name, values in data.items():
+            values = list(values)
+            if types and name in types:
+                sql_type = types[name]
+            else:
+                sample = next((v for v in values if v is not None), None)
+                sql_type = infer_sql_type(sample) if sample is not None else SQLType.STRING
+            columns.append(ResultColumn(name, sql_type, values))
+        return cls(columns)
+
+    # ------------------------------------------------------------------ #
+    # shape
+    # ------------------------------------------------------------------ #
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def column_count(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def column(self, name: str) -> ResultColumn:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise KeyError(name)
+
+    def __getitem__(self, name: str) -> list[Any]:
+        return self.column(name).values
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        for index in range(self.row_count):
+            yield tuple(column.values[index] for column in self.columns)
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        return list(self.rows())
+
+    def fetchone(self) -> tuple[Any, ...] | None:
+        return next(self.rows(), None)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (convenience for tests)."""
+        if self.row_count != 1 or self.column_count != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got {self.row_count}x{self.column_count}"
+            )
+        return self.columns[0].values[0]
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        return {column.name: list(column.values) for column in self.columns}
+
+    def to_numpy_dict(self) -> dict[str, np.ndarray]:
+        return {column.name: column.to_numpy() for column in self.columns}
+
+    # ------------------------------------------------------------------ #
+    # rendering (used by the CLI and the demo walkthrough)
+    # ------------------------------------------------------------------ #
+    def format_table(self, *, max_rows: int | None = 50, max_width: int = 40) -> str:
+        """Render as an ASCII table, in the spirit of the mclient output in Listing 1."""
+        names = self.column_names
+        if not names:
+            return f"({self.statement_type}: {self.affected_rows} rows affected)"
+        rows = self.fetchall()
+        truncated = False
+        if max_rows is not None and len(rows) > max_rows:
+            rows = rows[:max_rows]
+            truncated = True
+
+        def fmt(value: Any) -> str:
+            text = "NULL" if value is None else str(value)
+            if len(text) > max_width:
+                text = text[: max_width - 3] + "..."
+            return text
+
+        table = [names] + [[fmt(v) for v in row] for row in rows]
+        widths = [max(len(row[i]) for row in table) for i in range(len(names))]
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = [sep]
+        lines.append("| " + " | ".join(n.ljust(w) for n, w in zip(names, widths)) + " |")
+        lines.append(sep.replace("-", "="))
+        for row in table[1:]:
+            lines.append("| " + " | ".join(v.ljust(w) for v, w in zip(row, widths)) + " |")
+        lines.append(sep)
+        if truncated:
+            lines.append(f"... ({self.row_count} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryResult(columns={self.column_names}, rows={self.row_count}, "
+                f"affected={self.affected_rows})")

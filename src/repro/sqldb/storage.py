@@ -1,0 +1,197 @@
+"""Columnar storage engine.
+
+Tables are stored column-at-a-time (MonetDB's BAT layout, simplified): each
+column is a Python list, NULLs are ``None``.  Columns are converted to numpy
+arrays only at the UDF boundary, mirroring MonetDB/Python's zero-copy handoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError, ExecutionError
+from .schema import ColumnDef, TableSchema
+from .types import NUMPY_DTYPES, SQLType, coerce_value
+
+
+@dataclass
+class Column:
+    """A single stored column."""
+
+    definition: ColumnDef
+    values: list[Any] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def sql_type(self) -> SQLType:
+        return self.definition.sql_type
+
+    def append(self, value: Any) -> None:
+        self.values.append(coerce_value(value, self.sql_type))
+
+    def extend(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.append(value)
+
+    def to_numpy(self) -> np.ndarray:
+        """Materialise this column as a numpy array (the UDF input format)."""
+        return column_to_numpy(self.values, self.sql_type)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def column_to_numpy(values: Sequence[Any], sql_type: SQLType) -> np.ndarray:
+    """Convert a list of SQL values to the numpy array handed to UDFs.
+
+    Columns containing NULLs fall back to an object array so that ``None``
+    survives the conversion (MonetDB uses masked arrays; an object array keeps
+    the reproduction dependency-light while preserving the observable
+    behaviour that UDFs can see missing values).
+    """
+    dtype = NUMPY_DTYPES[sql_type]
+    if any(value is None for value in values):
+        return np.array(list(values), dtype="object")
+    if dtype == "object":
+        array = np.empty(len(values), dtype="object")
+        for index, value in enumerate(values):
+            array[index] = value
+        return array
+    return np.array(list(values), dtype=dtype)
+
+
+class Table:
+    """A stored table: a schema plus one :class:`Column` per schema column."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.columns: list[Column] = [Column(col) for col in schema.columns]
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.column_names
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.schema.column_index(name)]
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ExecutionError(
+                f"INSERT into {self.name!r}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        for column, value in zip(self.columns, values):
+            column.append(value)
+
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert_row(row)
+            count += 1
+        return count
+
+    def delete_rows(self, keep_mask: Sequence[bool]) -> int:
+        """Keep only rows where ``keep_mask`` is True; return rows removed."""
+        if len(keep_mask) != self.row_count:
+            raise ExecutionError("DELETE mask length mismatch")
+        removed = keep_mask.count(False) if isinstance(keep_mask, list) else int(
+            sum(1 for keep in keep_mask if not keep)
+        )
+        for column in self.columns:
+            column.values = [
+                value for value, keep in zip(column.values, keep_mask) if keep
+            ]
+        return removed
+
+    def update_rows(self, mask: Sequence[bool], assignments: dict[str, list[Any]]) -> int:
+        """Apply per-row new values for the columns in ``assignments`` where mask is True."""
+        updated = 0
+        for col_name, new_values in assignments.items():
+            column = self.column(col_name)
+            for index, (selected, new_value) in enumerate(zip(mask, new_values)):
+                if selected:
+                    column.values[index] = coerce_value(new_value, column.sql_type)
+        updated = sum(1 for selected in mask if selected)
+        return updated
+
+    def truncate(self) -> None:
+        for column in self.columns:
+            column.values = []
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        for index in range(self.row_count):
+            yield tuple(column.values[index] for column in self.columns)
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        return {column.name: list(column.values) for column in self.columns}
+
+    def to_numpy_dict(self) -> dict[str, np.ndarray]:
+        return {column.name: column.to_numpy() for column in self.columns}
+
+
+class Storage:
+    """The collection of all stored tables, addressed by (schema, name)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def create_table(self, schema: TableSchema, *, if_not_exists: bool = False) -> Table:
+        key = self._key(schema.name)
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        key = self._key(name)
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return self._key(name) in self._tables
+
+    def table(self, name: str) -> Table:
+        key = self._key(name)
+        try:
+            return self._tables[key]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

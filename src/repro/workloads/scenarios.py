@@ -1,0 +1,209 @@
+"""The demo scenarios (paper §2.5) as driveable :class:`DebuggingScenario` objects.
+
+* **Scenario A** — the ``mean_deviation`` UDF of Listing 4 computes the regular
+  difference instead of the absolute difference: "a semantic error, that is
+  syntactically correct but logically incorrect".
+* **Scenario B** — the UDF is correct, but the ``loadNumbers`` data loader of
+  Listing 5 skips one of the CSV files "because it considers that range is
+  right side inclusive" — a data-dependent error.
+
+Each scenario knows how to set up the demo database, what the correct answer
+is, how a developer would print-debug it (the traditional workflow), and how
+the bug shows up under the interactive debugger (the devUDF workflow).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..core.debugger import Breakpoint, DebugOutcome
+from ..core.workflow import DebuggingScenario
+from ..netproto.server import DatabaseServer
+from ..sqldb.database import Database
+from .csvgen import CSVWorkload, generate_csv_directory
+from .udf_corpus import (
+    LOAD_NUMBERS_BUGGY_BODY,
+    LOAD_NUMBERS_FIXED_BODY,
+    MEAN_DEVIATION_BUGGY_BODY,
+    MEAN_DEVIATION_FIXED_BODY,
+    load_numbers_create_sql,
+    load_numbers_instrumented_body,
+    mean_deviation_create_sql,
+    mean_deviation_instrumented_body,
+)
+
+
+class ScenarioA(DebuggingScenario):
+    """Listing 4: mean deviation without the absolute value."""
+
+    name = "scenario_a"
+    udf_name = "mean_deviation"
+    debug_query = "SELECT mean_deviation(i) FROM numbers"
+
+    def __init__(self, csv_directory: str | Path, *, n_files: int = 5,
+                 rows_per_file: int = 20, seed: int = 7) -> None:
+        self.csv_directory = Path(csv_directory)
+        self.n_files = n_files
+        self.rows_per_file = rows_per_file
+        self.seed = seed
+        self.workload: CSVWorkload | None = None
+
+    # -- setup ---------------------------------------------------------- #
+    def setup(self, server: DatabaseServer) -> None:
+        database: Database = server.database
+        self.workload = generate_csv_directory(
+            self.csv_directory, n_files=self.n_files,
+            rows_per_file=self.rows_per_file, seed=self.seed)
+        database.execute("CREATE TABLE IF NOT EXISTS numbers (i INTEGER)")
+        for path in self.workload.files:
+            database.execute(f"COPY INTO numbers FROM '{path}'")
+        database.execute(mean_deviation_create_sql(MEAN_DEVIATION_BUGGY_BODY,
+                                                   or_replace=True))
+
+    # -- correctness ------------------------------------------------------ #
+    def reference_value(self) -> float:
+        if self.workload is None:
+            raise RuntimeError("setup() must be called before reference_value()")
+        return self.workload.mean_deviation()
+
+    def is_correct(self, value: Any) -> bool:
+        try:
+            return abs(float(value) - self.reference_value()) < 1e-6
+        except (TypeError, ValueError):
+            return False
+
+    # -- traditional workflow --------------------------------------------- #
+    def fixed_create_sql(self) -> str:
+        return mean_deviation_create_sql(MEAN_DEVIATION_FIXED_BODY, or_replace=True)
+
+    def instrumented_create_sql(self, round_index: int) -> str:
+        return mean_deviation_create_sql(
+            mean_deviation_instrumented_body(round_index), or_replace=True)
+
+    def print_debug_rounds(self) -> int:
+        # print the mean, print the running distance, print the sign of each
+        # delta — three instrumentation rounds before the missing abs() is seen
+        return 3
+
+    # -- devUDF workflow ---------------------------------------------------- #
+    def apply_fix_to_source(self, source: str) -> str:
+        return source.replace("distance += column[i] - mean",
+                              "distance += abs(column[i] - mean)")
+
+    def debugger_breakpoints(self, source: str) -> list[int | Breakpoint]:
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "distance += column[i] - mean" in line:
+                return [number]
+        return []
+
+    def debugger_watches(self) -> dict[str, str]:
+        return {"distance": "distance", "mean": "mean"}
+
+    def bug_visible_in_debugger(self, outcome: DebugOutcome) -> bool:
+        """A mean *deviation* accumulator must never go negative; stepping
+        through the loop shows it doing exactly that."""
+        for stop in outcome.stops:
+            distance = stop.watches.get("distance")
+            if isinstance(distance, (int, float)) and distance < 0:
+                return True
+        return False
+
+
+class ScenarioB(DebuggingScenario):
+    """Listing 5: the data loader skips the last CSV file (off-by-one)."""
+
+    name = "scenario_b"
+    udf_name = "loadNumbers"
+
+    def __init__(self, csv_directory: str | Path, *, n_files: int = 5,
+                 rows_per_file: int = 20, seed: int = 11) -> None:
+        self.csv_directory = Path(csv_directory)
+        self.n_files = n_files
+        self.rows_per_file = rows_per_file
+        self.seed = seed
+        self.workload: CSVWorkload | None = None
+        self.debug_query = ""
+
+    # -- setup ---------------------------------------------------------- #
+    def setup(self, server: DatabaseServer) -> None:
+        database: Database = server.database
+        self.workload = generate_csv_directory(
+            self.csv_directory, n_files=self.n_files,
+            rows_per_file=self.rows_per_file, seed=self.seed)
+        database.execute(load_numbers_create_sql(LOAD_NUMBERS_BUGGY_BODY,
+                                                 or_replace=True))
+        database.execute(mean_deviation_create_sql(MEAN_DEVIATION_FIXED_BODY,
+                                                   or_replace=True))
+        self.debug_query = f"SELECT * FROM loadNumbers('{self.workload.directory}')"
+
+    # -- correctness ------------------------------------------------------ #
+    def reference_value(self) -> list[int]:
+        if self.workload is None:
+            raise RuntimeError("setup() must be called before reference_value()")
+        return sorted(self.workload.all_values)
+
+    def is_correct(self, value: Any) -> bool:
+        if not isinstance(value, list):
+            return False
+        loaded = sorted(row[0] if isinstance(row, tuple) else row for row in value)
+        return loaded == self.reference_value()
+
+    # -- traditional workflow --------------------------------------------- #
+    def fixed_create_sql(self) -> str:
+        return load_numbers_create_sql(LOAD_NUMBERS_FIXED_BODY, or_replace=True)
+
+    def instrumented_create_sql(self, round_index: int) -> str:
+        return load_numbers_create_sql(
+            load_numbers_instrumented_body(round_index), or_replace=True)
+
+    def print_debug_rounds(self) -> int:
+        # print the number of files vs rows, then print which files were read
+        return 2
+
+    # -- devUDF workflow ---------------------------------------------------- #
+    def apply_fix_to_source(self, source: str) -> str:
+        return source.replace("for i in range(0, len(files) - 1):",
+                              "for i in range(0, len(files)):")
+
+    def debugger_breakpoints(self, source: str) -> list[int | Breakpoint]:
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "for i in range(0, len(files) - 1):" in line:
+                return [number]
+        return []
+
+    def debugger_watches(self) -> dict[str, str]:
+        return {
+            "files_found": "len(files)",
+            "current_index": "i",
+        }
+
+    def bug_visible_in_debugger(self, outcome: DebugOutcome) -> bool:
+        """The loop never reaches the last file: max(i) == len(files) - 2."""
+        files_found: int | None = None
+        max_index = -1
+        for stop in outcome.stops:
+            count = stop.watches.get("files_found")
+            if isinstance(count, int):
+                files_found = count
+            index = stop.watches.get("current_index")
+            if isinstance(index, int):
+                max_index = max(max_index, index)
+        if files_found is None or max_index < 0:
+            return False
+        return max_index < files_found - 1
+
+
+def make_scenario_a(base_directory: str | Path, **kwargs: Any):
+    """Factory (for :func:`repro.core.workflow.compare_workflows`)."""
+    def factory() -> ScenarioA:
+        return ScenarioA(Path(base_directory) / "scenario_a_csv", **kwargs)
+
+    return factory
+
+
+def make_scenario_b(base_directory: str | Path, **kwargs: Any):
+    def factory() -> ScenarioB:
+        return ScenarioB(Path(base_directory) / "scenario_b_csv", **kwargs)
+
+    return factory

@@ -1,0 +1,363 @@
+"""The corpus of UDFs used by the demo, the examples, the tests and benchmarks.
+
+Bodies are written the way MonetDB would store them (the function body only),
+matching the paper's listings:
+
+* Listing 4 — the buggy ``mean_deviation`` (regular difference instead of the
+  absolute difference) and its corrected version.
+* Listing 5 — the buggy ``loadNumbers`` data loader (off-by-one over the CSV
+  files in a directory) and its corrected version.
+* Listings 1/3 — ``train_rnforest`` and the nested ``find_best_classifier``
+  (using :mod:`repro.ml` instead of scikit-learn, which is not available).
+
+Plus a handful of ordinary UDFs so the import/export round-trip tests have a
+mixed catalog to work against.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+
+from ..ml.datasets import make_blobs
+from ..netproto.server import DatabaseServer
+from ..sqldb.database import Database
+from .csvgen import CSVWorkload, generate_csv_directory
+
+
+def _body(text: str) -> str:
+    return textwrap.dedent(text).strip("\n") + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Listing 4: mean_deviation (buggy and fixed)
+# --------------------------------------------------------------------------- #
+MEAN_DEVIATION_BUGGY_BODY = _body("""
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += column[i] - mean
+    deviation = distance / len(column)
+    return deviation
+""")
+
+MEAN_DEVIATION_FIXED_BODY = _body("""
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += abs(column[i] - mean)
+    deviation = distance / len(column)
+    return deviation
+""")
+
+
+def mean_deviation_create_sql(body: str = MEAN_DEVIATION_BUGGY_BODY, *,
+                              or_replace: bool = False) -> str:
+    replace = "OR REPLACE " if or_replace else ""
+    return (f"CREATE {replace}FUNCTION mean_deviation(column INTEGER)\n"
+            f"RETURNS DOUBLE LANGUAGE PYTHON {{\n{body}}};")
+
+
+def mean_deviation_instrumented_body(round_index: int) -> str:
+    """Print-debugging instrumentations a developer would try (round by round)."""
+    if round_index == 0:
+        return _body("""
+            mean = 0
+            for i in range(0, len(column)):
+                mean += column[i]
+            mean = mean / len(column)
+            print('DEBUG mean =', mean)
+            distance = 0
+            for i in range(0, len(column)):
+                distance += column[i] - mean
+            deviation = distance / len(column)
+            return deviation
+        """)
+    if round_index == 1:
+        return _body("""
+            mean = 0
+            for i in range(0, len(column)):
+                mean += column[i]
+            mean = mean / len(column)
+            distance = 0
+            for i in range(0, len(column)):
+                distance += column[i] - mean
+                print('DEBUG i =', i, 'delta =', column[i] - mean, 'distance =', distance)
+            deviation = distance / len(column)
+            return deviation
+        """)
+    return _body("""
+        mean = 0
+        for i in range(0, len(column)):
+            mean += column[i]
+        mean = mean / len(column)
+        distance = 0
+        for i in range(0, len(column)):
+            delta = column[i] - mean
+            print('DEBUG delta sign', 'negative' if delta < 0 else 'positive', delta)
+            distance += delta
+        deviation = distance / len(column)
+        return deviation
+    """)
+
+
+# --------------------------------------------------------------------------- #
+# Listing 5: loadNumbers (buggy and fixed)
+# --------------------------------------------------------------------------- #
+LOAD_NUMBERS_BUGGY_BODY = _body("""
+    import os
+    files = sorted(os.listdir(path))
+    result = []
+    for i in range(0, len(files) - 1):
+        file = open(os.path.join(path, files[i]), "r")
+        for line in file:
+            if line.strip():
+                result.append(int(line))
+        file.close()
+    return result
+""")
+
+LOAD_NUMBERS_FIXED_BODY = _body("""
+    import os
+    files = sorted(os.listdir(path))
+    result = []
+    for i in range(0, len(files)):
+        file = open(os.path.join(path, files[i]), "r")
+        for line in file:
+            if line.strip():
+                result.append(int(line))
+        file.close()
+    return result
+""")
+
+
+def load_numbers_create_sql(body: str = LOAD_NUMBERS_BUGGY_BODY, *,
+                            or_replace: bool = False) -> str:
+    replace = "OR REPLACE " if or_replace else ""
+    return (f"CREATE {replace}FUNCTION loadNumbers(path STRING)\n"
+            f"RETURNS TABLE(i INTEGER) LANGUAGE PYTHON {{\n{body}}};")
+
+
+def load_numbers_instrumented_body(round_index: int) -> str:
+    if round_index == 0:
+        return _body("""
+            import os
+            files = sorted(os.listdir(path))
+            print('DEBUG files found =', len(files))
+            result = []
+            for i in range(0, len(files) - 1):
+                file = open(os.path.join(path, files[i]), "r")
+                for line in file:
+                    if line.strip():
+                        result.append(int(line))
+                file.close()
+            print('DEBUG rows loaded =', len(result))
+            return result
+        """)
+    return _body("""
+        import os
+        files = sorted(os.listdir(path))
+        result = []
+        loaded_files = []
+        for i in range(0, len(files) - 1):
+            loaded_files.append(files[i])
+            file = open(os.path.join(path, files[i]), "r")
+            for line in file:
+                if line.strip():
+                    result.append(int(line))
+            file.close()
+        print('DEBUG loaded files =', loaded_files, 'of', files)
+        return result
+    """)
+
+
+# --------------------------------------------------------------------------- #
+# Listings 1 and 3: the classifier UDFs (scikit-learn replaced by repro.ml)
+# --------------------------------------------------------------------------- #
+TRAIN_RNFOREST_BODY = _body("""
+    import pickle
+    import binascii
+    from repro.ml import RandomForestClassifier
+    data = numpy.column_stack((f0, f1))
+    if hasattr(n_estimators, '__len__'):
+        n = int(numpy.asarray(n_estimators).ravel()[0])
+    else:
+        n = int(n_estimators)
+    clf = RandomForestClassifier(n_estimators=n, random_state=0)
+    clf.fit(data, classes)
+    return {'clf': binascii.hexlify(pickle.dumps(clf)).decode(),
+            'estimators': n}
+""")
+
+FIND_BEST_CLASSIFIER_BODY = _body("""
+    import pickle
+    import binascii
+    res = _conn.execute(\"\"\"SELECT f0, f1, label FROM testingset\"\"\")
+    tdata = numpy.column_stack((res['f0'], res['f1']))
+    tlabels = numpy.asarray(res['label'])
+    best_classifier = None
+    best_classifier_answers = -1
+    best_estimator = -1
+    if hasattr(esttest, '__len__'):
+        est_limit = int(numpy.asarray(esttest).ravel()[0])
+    else:
+        est_limit = int(esttest)
+    for estimator in range(1, est_limit + 1):
+        res = _conn.execute(\"\"\"
+            SELECT * FROM train_rnforest(
+                (SELECT f0, f1, label FROM trainingset), %d)
+        \"\"\" % estimator)
+        classifier = pickle.loads(binascii.unhexlify(res['clf'][0]))
+        predictions = classifier.predict(tdata)
+        correct_pred = predictions == tlabels
+        correct_ans = int(numpy.sum(correct_pred))
+        if correct_ans > best_classifier_answers:
+            best_classifier = res['clf'][0]
+            best_classifier_answers = correct_ans
+            best_estimator = estimator
+    return {'clf': best_classifier,
+            'n_estimators': best_estimator,
+            'correct': best_classifier_answers}
+""")
+
+
+def train_rnforest_create_sql(*, or_replace: bool = False) -> str:
+    replace = "OR REPLACE " if or_replace else ""
+    return (f"CREATE {replace}FUNCTION train_rnforest"
+            "(f0 DOUBLE, f1 DOUBLE, classes INTEGER, n_estimators INTEGER)\n"
+            "RETURNS TABLE(clf STRING, estimators INTEGER) LANGUAGE PYTHON {\n"
+            f"{TRAIN_RNFOREST_BODY}}};")
+
+
+def find_best_classifier_create_sql(*, or_replace: bool = False) -> str:
+    replace = "OR REPLACE " if or_replace else ""
+    return (f"CREATE {replace}FUNCTION find_best_classifier(esttest INTEGER)\n"
+            "RETURNS TABLE(clf STRING, n_estimators INTEGER, correct INTEGER) "
+            "LANGUAGE PYTHON {\n"
+            f"{FIND_BEST_CLASSIFIER_BODY}}};")
+
+
+# --------------------------------------------------------------------------- #
+# additional ordinary UDFs (a realistic mixed catalog)
+# --------------------------------------------------------------------------- #
+EXTRA_UDFS_SQL: dict[str, str] = {
+    "add_one": (
+        "CREATE FUNCTION add_one(i INTEGER) RETURNS INTEGER LANGUAGE PYTHON {\n"
+        "    return i + 1\n};"
+    ),
+    "zscore": (
+        "CREATE FUNCTION zscore(x DOUBLE) RETURNS DOUBLE LANGUAGE PYTHON {\n"
+        "    import numpy\n"
+        "    values = numpy.asarray(x, dtype='float64')\n"
+        "    std = values.std()\n"
+        "    if std == 0:\n"
+        "        return values * 0.0\n"
+        "    return (values - values.mean()) / std\n};"
+    ),
+    "column_stats": (
+        "CREATE FUNCTION column_stats(v DOUBLE) "
+        "RETURNS TABLE(stat STRING, value DOUBLE) LANGUAGE PYTHON {\n"
+        "    import numpy\n"
+        "    values = numpy.asarray(v, dtype='float64')\n"
+        "    return {'stat': ['min', 'max', 'mean', 'count'],\n"
+        "            'value': [float(values.min()), float(values.max()),\n"
+        "                      float(values.mean()), float(len(values))]}\n};"
+    ),
+    "generate_series_py": (
+        "CREATE FUNCTION generate_series_py(n INTEGER) "
+        "RETURNS TABLE(value INTEGER) LANGUAGE PYTHON {\n"
+        "    import numpy\n"
+        "    if hasattr(n, '__len__'):\n"
+        "        n = int(numpy.asarray(n).ravel()[0])\n"
+        "    return {'value': numpy.arange(int(n))}\n};"
+    ),
+    "total_sum": (
+        "CREATE FUNCTION total_sum(v INTEGER) RETURNS DOUBLE LANGUAGE PYTHON {\n"
+        "    import numpy\n"
+        "    return float(numpy.sum(v))\n};"
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# database setup helpers
+# --------------------------------------------------------------------------- #
+@dataclass
+class DemoSetup:
+    """Handles produced while preparing the demo database."""
+
+    workload: CSVWorkload
+    csv_directory: str
+
+
+def setup_numbers_database(database: Database, csv_directory: str, *,
+                           n_files: int = 5, rows_per_file: int = 20,
+                           seed: int = 7, load_with: str = "copy") -> DemoSetup:
+    """Create the ``numbers`` table and ingest the demo CSV directory.
+
+    ``load_with='copy'`` ingests via ``COPY INTO`` (the correct path, used for
+    Scenario A).  ``load_with='none'`` leaves the table empty (Scenario B loads
+    through the ``loadNumbers`` UDF instead).
+    """
+    workload = generate_csv_directory(csv_directory, n_files=n_files,
+                                      rows_per_file=rows_per_file, seed=seed)
+    database.execute("CREATE TABLE IF NOT EXISTS numbers (i INTEGER)")
+    if load_with == "copy":
+        for path in workload.files:
+            database.execute(f"COPY INTO numbers FROM '{path}'")
+    return DemoSetup(workload=workload, csv_directory=str(workload.directory))
+
+
+def setup_classifier_database(database: Database, *, n_rows: int = 120,
+                              seed: int = 3) -> None:
+    """Create the training/testing sets behind Listings 1 and 3."""
+    dataset = make_blobs(n_rows=n_rows, n_features=2, n_classes=2, seed=seed)
+    split = int(round(n_rows * 0.7))
+    database.execute(
+        "CREATE TABLE IF NOT EXISTS trainingset (f0 DOUBLE, f1 DOUBLE, label INTEGER)")
+    database.execute(
+        "CREATE TABLE IF NOT EXISTS testingset (f0 DOUBLE, f1 DOUBLE, label INTEGER)")
+    for index in range(n_rows):
+        table = "trainingset" if index < split else "testingset"
+        database.execute(
+            f"INSERT INTO {table} VALUES ({float(dataset.data[index, 0])}, "
+            f"{float(dataset.data[index, 1])}, {int(dataset.labels[index])})"
+        )
+    database.execute(train_rnforest_create_sql(or_replace=True))
+    database.execute(find_best_classifier_create_sql(or_replace=True))
+
+
+def setup_mixed_catalog(database: Database) -> list[str]:
+    """Register the extra ordinary UDFs; returns the names created."""
+    created = []
+    for name, sql in EXTRA_UDFS_SQL.items():
+        if not database.has_function(name):
+            database.execute(sql)
+        created.append(name)
+    return created
+
+
+def demo_server(csv_directory: str, *, buggy_mean_deviation: bool = True,
+                buggy_loader: bool = False, with_classifier: bool = False,
+                with_extras: bool = False, n_files: int = 5,
+                rows_per_file: int = 20, seed: int = 7
+                ) -> tuple[DatabaseServer, DemoSetup]:
+    """Build a fully-populated demo server (the paper's demo environment)."""
+    database = Database(name="demo")
+    setup = setup_numbers_database(database, csv_directory, n_files=n_files,
+                                   rows_per_file=rows_per_file, seed=seed)
+    body = MEAN_DEVIATION_BUGGY_BODY if buggy_mean_deviation else MEAN_DEVIATION_FIXED_BODY
+    database.execute(mean_deviation_create_sql(body))
+    loader_body = LOAD_NUMBERS_BUGGY_BODY if buggy_loader else LOAD_NUMBERS_FIXED_BODY
+    database.execute(load_numbers_create_sql(loader_body))
+    if with_classifier:
+        setup_classifier_database(database)
+    if with_extras:
+        setup_mixed_catalog(database)
+    return DatabaseServer(database), setup

@@ -1,0 +1,95 @@
+"""Shared fixtures for the devUDF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.netproto.client import Connection
+from repro.netproto.server import DatabaseServer
+from repro.sqldb.database import Database
+from repro.workloads.udf_corpus import (
+    MEAN_DEVIATION_BUGGY_BODY,
+    MEAN_DEVIATION_FIXED_BODY,
+    load_numbers_create_sql,
+    mean_deviation_create_sql,
+    setup_classifier_database,
+    setup_mixed_catalog,
+    setup_numbers_database,
+)
+
+
+@pytest.fixture()
+def database() -> Database:
+    """An empty embedded database."""
+    return Database(name="demo")
+
+
+@pytest.fixture()
+def numbers_database(database: Database) -> Database:
+    """A database with a small ``numbers`` table."""
+    database.execute("CREATE TABLE numbers (i INTEGER)")
+    database.execute("INSERT INTO numbers VALUES (1), (2), (3), (4), (10)")
+    return database
+
+
+@pytest.fixture()
+def demo_database(database: Database, tmp_path) -> Database:
+    """The demo database: CSV-backed numbers table + buggy mean_deviation."""
+    setup_numbers_database(database, str(tmp_path / "csv"), n_files=3, rows_per_file=10)
+    database.execute(mean_deviation_create_sql(MEAN_DEVIATION_BUGGY_BODY))
+    return database
+
+
+@pytest.fixture()
+def fixed_demo_database(database: Database, tmp_path) -> Database:
+    setup_numbers_database(database, str(tmp_path / "csv_fixed"), n_files=3,
+                           rows_per_file=10)
+    database.execute(mean_deviation_create_sql(MEAN_DEVIATION_FIXED_BODY))
+    return database
+
+
+@pytest.fixture()
+def classifier_database(database: Database) -> Database:
+    """A database with training/testing sets and the classifier UDFs."""
+    setup_classifier_database(database, n_rows=60, seed=3)
+    return database
+
+
+@pytest.fixture()
+def server(database: Database) -> DatabaseServer:
+    """A protocol server wrapping an empty database (default monetdb/monetdb user)."""
+    return DatabaseServer(database)
+
+
+@pytest.fixture()
+def demo_server_fixture(demo_database: Database) -> DatabaseServer:
+    return DatabaseServer(demo_database)
+
+
+@pytest.fixture()
+def connection(server: DatabaseServer) -> Connection:
+    """An authenticated in-process client connection."""
+    conn = Connection.connect_in_process(server)
+    yield conn
+    conn.close()
+
+
+@pytest.fixture()
+def mixed_catalog_server(demo_database: Database) -> DatabaseServer:
+    """Demo database plus the extra ordinary UDF corpus."""
+    setup_mixed_catalog(demo_database)
+    demo_database.execute(load_numbers_create_sql())
+    return DatabaseServer(demo_database)
+
+
+@pytest.fixture()
+def project(tmp_path) -> DevUDFProject:
+    """A fresh devUDF project under a temporary directory."""
+    return DevUDFProject(tmp_path / "ide_project")
+
+
+@pytest.fixture()
+def settings() -> DevUDFSettings:
+    return DevUDFSettings(debug_query="SELECT mean_deviation(i) FROM numbers")

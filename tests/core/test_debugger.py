@@ -1,0 +1,185 @@
+"""Tests for the interactive debugger (breakpoints, stepping, watches)."""
+
+import textwrap
+
+import pytest
+
+from repro.core.debugger import (
+    Breakpoint,
+    DebugSession,
+    STEP_INTO,
+    STEP_OVER,
+    ScriptedController,
+    StepUntilController,
+    debug_file,
+)
+from repro.errors import DebugSessionError
+
+
+def write_script(tmp_path, text: str, name: str = "script.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(text))
+    return path
+
+
+LOOP_SCRIPT = """\
+    total = 0
+    values = [3, 1, 4, 1, 5]
+    for value in values:
+        total = total + value
+    __devudf_result__ = total
+"""
+
+FUNCTION_SCRIPT = """\
+    def helper(x):
+        doubled = x * 2
+        return doubled
+
+    def main(values):
+        out = []
+        for value in values:
+            out.append(helper(value))
+        return out
+
+    __devudf_result__ = main([1, 2, 3])
+"""
+
+
+class TestBreakpoints:
+    def test_breakpoint_pauses_each_iteration(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        outcome = debug_file(script, breakpoints=[4])
+        assert outcome.completed
+        assert outcome.result == 14
+        assert len(outcome.breakpoint_stops) == 5
+        assert all(stop.line == 4 for stop in outcome.breakpoint_stops)
+
+    def test_locals_snapshot_at_breakpoint(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        outcome = debug_file(script, breakpoints=[4])
+        first = outcome.breakpoint_stops[0]
+        assert first.local("total") == 0
+        assert first.local("value") == 3
+        last = outcome.breakpoint_stops[-1]
+        assert last.local("total") == 9
+
+    def test_conditional_breakpoint(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        session = DebugSession(script, breakpoints=[Breakpoint(4, condition="value > 3")])
+        outcome = session.run()
+        assert len(outcome.breakpoint_stops) == 2  # values 4 and 5
+
+    def test_breakpoint_in_function(self, tmp_path):
+        script = write_script(tmp_path, FUNCTION_SCRIPT)
+        outcome = debug_file(script, breakpoints=[3])
+        assert len(outcome.breakpoint_stops) == 3
+        assert outcome.breakpoint_stops[0].function == "helper"
+
+    def test_no_breakpoints_consults_controller_from_first_line(self, tmp_path):
+        script = write_script(tmp_path, "x = 1\ny = 2\n__devudf_result__ = x + y\n")
+        outcome = debug_file(script, controller=ScriptedController([STEP_OVER] * 2))
+        assert outcome.completed
+        assert outcome.result == 3
+        assert [stop.line for stop in outcome.stops[:3]] == [1, 2, 3]
+
+    def test_invalid_breakpoint_line_rejected(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        session = DebugSession(script, breakpoints=[999])
+        with pytest.raises(DebugSessionError):
+            session.run()
+
+    def test_missing_script_rejected(self, tmp_path):
+        with pytest.raises(DebugSessionError):
+            DebugSession(tmp_path / "absent.py")
+
+
+class TestWatches:
+    def test_watch_expressions_evaluated_at_stops(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        outcome = debug_file(script, breakpoints=[4],
+                             watches={"running_total": "total", "double": "value * 2"})
+        assert outcome.breakpoint_stops[0].watches == {"running_total": 0, "double": 6}
+
+    def test_watch_errors_are_reported_not_fatal(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        outcome = debug_file(script, breakpoints=[4],
+                             watches={"broken": "undefined_variable"})
+        assert "error" in str(outcome.breakpoint_stops[0].watches["broken"])
+        assert outcome.completed
+
+
+class TestStepping:
+    def test_scripted_step_over(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        controller = ScriptedController([STEP_OVER] * 4)
+        session = DebugSession(script, controller=controller)
+        outcome = session.run()
+        assert outcome.completed
+        # steps recorded sequentially from the first line
+        assert [stop.line for stop in outcome.stops[:4]] == [1, 2, 3, 4]
+
+    def test_step_into_function(self, tmp_path):
+        script = write_script(tmp_path, FUNCTION_SCRIPT)
+        # run to the call site, then step into the helper
+        session = DebugSession(script, breakpoints=[8],
+                               controller=ScriptedController([STEP_INTO, STEP_INTO]))
+        outcome = session.run()
+        functions = [stop.function for stop in outcome.stops]
+        assert "helper" in functions
+
+    def test_step_until_predicate(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        controller = StepUntilController(lambda stop: stop.local("total", 0) > 7)
+        session = DebugSession(script, controller=controller)
+        outcome = session.run()
+        assert controller.matched_stop is not None
+        assert controller.matched_stop.local("total") > 7
+        assert outcome.quit_requested
+
+    def test_unknown_controller_command_rejected(self, tmp_path):
+        script = write_script(tmp_path, LOOP_SCRIPT)
+        session = DebugSession(script, controller=lambda stop, s: "teleport")
+        with pytest.raises(DebugSessionError):
+            session.run()
+
+    def test_scripted_controller_validates_commands(self):
+        with pytest.raises(DebugSessionError):
+            ScriptedController(["warp"])
+
+
+class TestExceptions:
+    def test_exception_location_reported(self, tmp_path):
+        script = write_script(tmp_path, """\
+            x = 1
+            y = 0
+            z = x / y
+            __devudf_result__ = z
+        """)
+        outcome = debug_file(script)
+        assert not outcome.completed
+        assert outcome.exception_type == "ZeroDivisionError"
+        assert outcome.exception_line == 3
+
+    def test_stdout_captured(self, tmp_path):
+        script = write_script(tmp_path, "print('debug output')\n__devudf_result__ = 1\n")
+        outcome = debug_file(script)
+        assert "debug output" in outcome.stdout
+
+
+class TestScenarioADetection:
+    def test_negative_distance_visible_while_stepping(self, tmp_path):
+        """The Scenario A bug as seen through the debugger: the accumulator of a
+        mean *deviation* goes negative because abs() is missing."""
+        script = write_script(tmp_path, """\
+            column = [1, 2, 3, 4, 10]
+            mean = sum(column) / len(column)
+            distance = 0
+            for i in range(0, len(column)):
+                distance += column[i] - mean
+            __devudf_result__ = distance / len(column)
+        """)
+        outcome = debug_file(script, breakpoints=[5], watches={"distance": "distance"})
+        negatives = [stop for stop in outcome.breakpoint_stops
+                     if isinstance(stop.watches["distance"], (int, float))
+                     and stop.watches["distance"] < 0]
+        assert negatives, "stepping through the loop must expose the negative accumulator"

@@ -1,0 +1,179 @@
+"""Tests for debug-query rewriting and input-data extraction (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import EXTRACT_FUNCTION_PREFIX, ExtractQueryRewriter, InputExtractor
+from repro.core.settings import DataTransferSettings
+from repro.errors import ExtractionError
+from repro.netproto.client import Connection
+from repro.netproto.server import DatabaseServer
+from repro.sqldb.database import Database
+from repro.workloads.udf_corpus import (
+    MEAN_DEVIATION_BUGGY_BODY,
+    mean_deviation_create_sql,
+    setup_classifier_database,
+)
+
+
+@pytest.fixture()
+def demo_db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE numbers (i INTEGER)")
+    for value in range(50):
+        database.execute(f"INSERT INTO numbers VALUES ({value})")
+    database.execute(mean_deviation_create_sql(MEAN_DEVIATION_BUGGY_BODY))
+    return database
+
+
+def signatures_of(database: Database):
+    return {name.lower(): database.catalog.get(name).signature
+            for name in database.function_names()}
+
+
+class TestScalarPlanning:
+    def test_simple_plan(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        assert plan.udf_name == "mean_deviation"
+        assert [p.name for p in plan.column_parameters] == ["column"]
+        assert plan.extract_function_name == EXTRACT_FUNCTION_PREFIX + "mean_deviation"
+        assert "SELECT i AS column FROM numbers" in plan.extraction_query
+        assert plan.extract_function_sql.startswith("CREATE OR REPLACE FUNCTION")
+
+    def test_plan_preserves_where_clause(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers WHERE i > 10",
+                             "mean_deviation")
+        assert "WHERE" in plan.extraction_query
+        assert "10" in plan.extraction_query
+
+    def test_plan_with_expression_argument(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i * 2) FROM numbers", "mean_deviation")
+        assert "(i * 2) AS column" in plan.extraction_query
+
+    def test_constant_only_call_needs_no_extraction_query(self, demo_db):
+        demo_db.execute("CREATE FUNCTION const_fn(x INTEGER) RETURNS INTEGER "
+                        "LANGUAGE PYTHON { return x + 1 }")
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT const_fn(41)", "const_fn")
+        assert plan.extraction_query is None
+        assert plan.constant_parameters[0].value == 41
+
+    def test_unknown_udf_rejected(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        with pytest.raises(ExtractionError):
+            rewriter.plan("SELECT missing(i) FROM numbers", "missing")
+
+    def test_query_not_calling_the_udf_rejected(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        with pytest.raises(ExtractionError):
+            rewriter.plan("SELECT i FROM numbers", "mean_deviation")
+
+    def test_arity_mismatch_rejected(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        with pytest.raises(ExtractionError):
+            rewriter.plan("SELECT mean_deviation(i, i) FROM numbers", "mean_deviation")
+
+    def test_non_select_debug_query_rejected(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        with pytest.raises(ExtractionError):
+            rewriter.plan("DELETE FROM numbers", "mean_deviation")
+
+
+class TestTableFunctionPlanning:
+    def test_nested_classifier_plan(self):
+        database = Database()
+        setup_classifier_database(database, n_rows=40)
+        rewriter = ExtractQueryRewriter(signatures_of(database))
+        plan = rewriter.plan("SELECT * FROM find_best_classifier(3)",
+                             "find_best_classifier")
+        assert plan.constant_parameters[0].value == 3
+        assert plan.nested_udfs == ["train_rnforest"]
+        assert len(plan.loopback_queries) == 2
+
+    def test_table_function_with_subquery_arguments(self):
+        database = Database()
+        setup_classifier_database(database, n_rows=40)
+        rewriter = ExtractQueryRewriter(signatures_of(database))
+        plan = rewriter.plan(
+            "SELECT * FROM train_rnforest((SELECT f0, f1, label FROM trainingset), 4)",
+            "train_rnforest")
+        assert [p.name for p in plan.column_parameters] == ["f0", "f1", "classes"]
+        assert plan.constant_parameters[0].name == "n_estimators"
+        assert plan.constant_parameters[0].value == 4
+        assert plan.extraction_query is not None
+
+
+class TestSamplingExtractFunction:
+    def test_sampling_embedded_in_extract_function(self, demo_db):
+        transfer = DataTransferSettings(use_sampling=True, sample_size=10, sample_seed=1)
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db), transfer)
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        assert "choice" in plan.extract_function_sql
+
+    def test_no_sampling_no_choice(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        assert "choice" not in plan.extract_function_sql
+
+
+class TestInputExtraction:
+    def make_extractor(self, database, transfer=None):
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        return InputExtractor(connection, signatures_of(database), transfer), connection
+
+    def test_extract_full_column(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        extractor, connection = self.make_extractor(demo_db)
+        inputs = extractor.extract(plan)
+        assert isinstance(inputs.parameters["column"], np.ndarray)
+        assert len(inputs.parameters["column"]) == 50
+        assert inputs.rows_extracted == 50
+        assert inputs.wire_bytes > 0
+        connection.close()
+
+    def test_extract_with_sampling_reduces_rows(self, demo_db):
+        transfer = DataTransferSettings(use_sampling=True, sample_size=10, sample_seed=7)
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db), transfer)
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        extractor, connection = self.make_extractor(demo_db, transfer)
+        inputs = extractor.extract(plan)
+        assert len(inputs.parameters["column"]) == 10
+        assert set(inputs.parameters["column"]).issubset(set(range(50)))
+        connection.close()
+
+    def test_extract_where_filter_applied_server_side(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers WHERE i < 5",
+                             "mean_deviation")
+        extractor, connection = self.make_extractor(demo_db)
+        inputs = extractor.extract(plan)
+        assert sorted(inputs.parameters["column"].tolist()) == [0, 1, 2, 3, 4]
+        connection.close()
+
+    def test_extract_nested_classifier_inputs(self):
+        database = Database()
+        setup_classifier_database(database, n_rows=40)
+        rewriter = ExtractQueryRewriter(signatures_of(database))
+        plan = rewriter.plan("SELECT * FROM find_best_classifier(2)",
+                             "find_best_classifier")
+        extractor, connection = self.make_extractor(database)
+        inputs = extractor.extract(plan)
+        assert inputs.parameters["esttest"] == 2
+        assert "select f0, f1, label from testingset" in inputs.loopback
+        assert "select f0, f1, label from trainingset" in inputs.loopback
+        training = inputs.loopback["select f0, f1, label from trainingset"]
+        assert set(training) == {"f0", "f1", "label"}
+        connection.close()
+
+    def test_extract_registers_extract_function_on_server(self, demo_db):
+        rewriter = ExtractQueryRewriter(signatures_of(demo_db))
+        plan = rewriter.plan("SELECT mean_deviation(i) FROM numbers", "mean_deviation")
+        extractor, connection = self.make_extractor(demo_db)
+        extractor.extract(plan)
+        assert demo_db.has_function(EXTRACT_FUNCTION_PREFIX + "mean_deviation")
+        connection.close()

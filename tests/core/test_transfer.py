@@ -1,0 +1,90 @@
+"""Tests for the local input.bin packaging."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import ExtractedInputs
+from repro.core.transfer import (
+    LOOPBACK_KEY,
+    build_input_parameters,
+    read_input_blob,
+    write_input_blob,
+)
+from repro.errors import ExtractionError
+
+
+@pytest.fixture()
+def inputs() -> ExtractedInputs:
+    return ExtractedInputs(
+        udf_name="mean_deviation",
+        parameters={"column": np.arange(100), "n": 5},
+        loopback={"select a from t": {"a": [1, 2, 3]}},
+        rows_extracted=100,
+    )
+
+
+class TestBuildInputParameters:
+    def test_keys_and_loopback(self, inputs):
+        payload = build_input_parameters(inputs)
+        assert set(payload) == {"column", "n", LOOPBACK_KEY}
+        assert isinstance(payload["column"], np.ndarray)
+        assert payload["n"] == 5
+
+    def test_no_loopback_key_when_empty(self):
+        payload = build_input_parameters(ExtractedInputs("f", parameters={"x": 1}))
+        assert LOOPBACK_KEY not in payload
+
+    def test_lists_become_arrays(self):
+        payload = build_input_parameters(ExtractedInputs("f", parameters={"x": [1, 2, 3]}))
+        assert isinstance(payload["x"], np.ndarray)
+
+
+class TestWriteReadBlob:
+    def test_round_trip(self, inputs, tmp_path):
+        path = tmp_path / "input.bin"
+        stats = write_input_blob(inputs, path)
+        assert path.exists()
+        assert stats.stored_bytes == path.stat().st_size
+        assert stats.parameters == 2
+        assert stats.loopback_queries == 1
+        payload = read_input_blob(path)
+        assert payload["n"] == 5
+        assert list(payload["column"][:3]) == [0, 1, 2]
+        assert list(payload[LOOPBACK_KEY]["select a from t"]["a"]) == [1, 2, 3]
+
+    def test_compressed_blob(self, inputs, tmp_path):
+        plain = write_input_blob(inputs, tmp_path / "plain.bin")
+        compressed = write_input_blob(inputs, tmp_path / "compressed.bin", compress=True)
+        assert compressed.compressed
+        assert compressed.stored_bytes < plain.stored_bytes
+        payload = read_input_blob(tmp_path / "compressed.bin")
+        assert payload["n"] == 5
+
+    def test_encrypted_blob_requires_password(self, inputs, tmp_path):
+        path = tmp_path / "enc.bin"
+        stats = write_input_blob(inputs, path, encrypt_password="monetdb")
+        assert stats.encrypted
+        with pytest.raises(ExtractionError):
+            read_input_blob(path)
+        payload = read_input_blob(path, password="monetdb")
+        assert payload["n"] == 5
+
+    def test_encrypted_and_compressed(self, inputs, tmp_path):
+        path = tmp_path / "both.bin"
+        write_input_blob(inputs, path, compress=True, encrypt_password="pw")
+        payload = read_input_blob(path, password="pw")
+        assert len(payload["column"]) == 100
+
+    def test_missing_blob(self, tmp_path):
+        with pytest.raises(ExtractionError):
+            read_input_blob(tmp_path / "absent.bin")
+
+    def test_listing2_compatible_load(self, inputs, tmp_path):
+        """The plain blob must be loadable exactly the way Listing 2 loads it."""
+        import pickle
+
+        path = tmp_path / "input.bin"
+        write_input_blob(inputs, path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["n"] == 5

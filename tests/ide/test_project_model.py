@@ -1,0 +1,73 @@
+"""Tests for the IDE project model."""
+
+import pytest
+
+from repro.errors import ProjectError
+from repro.ide.project_model import IDEProject
+
+
+@pytest.fixture()
+def project(tmp_path) -> IDEProject:
+    return IDEProject(tmp_path / "proj", name="demo")
+
+
+class TestFiles:
+    def test_create_and_read(self, project):
+        project.create_file("udfs/f.py", "pass\n")
+        assert project.exists("udfs/f.py")
+        assert project.read_text("udfs/f.py") == "pass\n"
+
+    def test_create_no_overwrite(self, project):
+        project.create_file("a.py", "1")
+        with pytest.raises(ProjectError):
+            project.create_file("a.py", "2", overwrite=False)
+        project.create_file("a.py", "3")
+        assert project.read_text("a.py") == "3"
+
+    def test_open_missing_file(self, project):
+        with pytest.raises(ProjectError):
+            project.open_file("missing.py")
+
+    def test_delete_file(self, project):
+        project.create_file("x.py", "")
+        project.delete_file("x.py")
+        assert not project.exists("x.py")
+        with pytest.raises(ProjectError):
+            project.delete_file("x.py")
+
+    def test_files_listing_sorted(self, project):
+        project.create_file("b.py", "")
+        project.create_file("a.py", "")
+        project.create_file("notes.txt", "")
+        assert project.relative_files() == ["a.py", "b.py"]
+
+    def test_path_escape_rejected(self, project):
+        with pytest.raises(ProjectError):
+            project.path_of("../outside.py")
+
+
+class TestBuffers:
+    def test_open_returns_same_buffer(self, project):
+        project.create_file("f.py", "x = 1\n")
+        first = project.open_file("f.py")
+        second = project.open_file("f.py")
+        assert first is second
+
+    def test_read_text_prefers_unsaved_buffer(self, project):
+        project.create_file("f.py", "on disk\n")
+        buffer = project.open_file("f.py")
+        buffer.set_text("in buffer\n")
+        assert project.read_text("f.py") == "in buffer\n"
+
+    def test_dirty_buffers_and_save_all(self, project):
+        project.create_file("a.py", "a")
+        project.create_file("b.py", "b")
+        project.open_file("a.py").set_text("changed")
+        assert project.dirty_buffers() == ["a.py"]
+        assert project.save_all() == 1
+        assert project.dirty_buffers() == []
+        assert project.path_of("a.py").read_text() == "changed"
+
+    def test_project_name_defaults_to_directory(self, tmp_path):
+        project = IDEProject(tmp_path / "my_project")
+        assert project.name == "my_project"

@@ -1,0 +1,28 @@
+"""The shipped examples must run end-to-end (they are executable documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout, check=False,
+    )
+
+
+@pytest.mark.parametrize("script,expected_marker", [
+    ("quickstart.py", "quickstart finished"),
+    ("nested_classifier.py", "nested example finished"),
+    ("scenario_b_data_loader.py", "scenario B finished"),
+    ("remote_transfer_options.py", "remote example finished"),
+])
+def test_example_runs_to_completion(script, expected_marker):
+    completed = run_example(script)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected_marker in completed.stdout

@@ -1,0 +1,103 @@
+"""Tests for the classification metrics and dataset helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.datasets import make_blobs, make_noisy_parity
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    correct_predictions,
+    train_test_split,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+        assert accuracy_score([1, 1, 1], [0, 0, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_correct_predictions_is_listing3_quantity(self):
+        assert correct_predictions([1, 0, 1, 1], [1, 1, 1, 0]) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    def test_accuracy_consistent_with_correct_count(self, labels):
+        predictions = list(reversed(labels))
+        assert accuracy_score(labels, predictions) == pytest.approx(
+            correct_predictions(labels, predictions) / len(labels))
+
+
+class TestConfusionMatrix:
+    def test_shape_and_totals(self):
+        classes, matrix = confusion_matrix([0, 0, 1, 1, 2], [0, 1, 1, 1, 2])
+        assert classes == [0, 1, 2]
+        assert matrix.sum() == 5
+        assert matrix[1, 1] == 2
+        assert matrix[0, 1] == 1
+
+    def test_diagonal_equals_correct_predictions(self):
+        truth = [0, 1, 1, 0, 1]
+        guess = [0, 1, 0, 0, 1]
+        _, matrix = confusion_matrix(truth, guess)
+        assert int(np.trace(matrix)) == correct_predictions(truth, guess)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        dataset = make_blobs(n_rows=100, seed=0)
+        train_x, train_y, test_x, test_y = train_test_split(
+            dataset.data, dataset.labels, test_fraction=0.25, seed=1)
+        assert len(test_x) == 25
+        assert len(train_x) == 75
+        assert len(train_x) == len(train_y)
+
+    def test_disjoint_and_complete(self):
+        dataset = make_blobs(n_rows=40, seed=0)
+        train_x, _, test_x, _ = train_test_split(dataset.data, dataset.labels, seed=2)
+        assert len(train_x) + len(test_x) == 40
+
+    def test_invalid_fraction(self):
+        dataset = make_blobs(n_rows=10, seed=0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset.data, dataset.labels, test_fraction=1.5)
+
+
+class TestDatasets:
+    def test_make_blobs_shape(self):
+        dataset = make_blobs(n_rows=55, n_features=3, n_classes=4, seed=1)
+        assert dataset.data.shape == (55, 3)
+        assert set(np.unique(dataset.labels)) == {0, 1, 2, 3}
+        assert dataset.n_rows == 55 and dataset.n_features == 3
+
+    def test_make_blobs_deterministic(self):
+        a = make_blobs(n_rows=30, seed=9)
+        b = make_blobs(n_rows=30, seed=9)
+        assert np.array_equal(a.data, b.data)
+
+    def test_feature_columns(self):
+        dataset = make_blobs(n_rows=20, n_features=2, seed=0)
+        columns = dataset.feature_columns()
+        assert set(columns) == {"f0", "f1", "label"}
+        assert len(columns["f0"]) == 20
+
+    def test_make_blobs_validates_rows(self):
+        with pytest.raises(ValueError):
+            make_blobs(n_rows=1, n_classes=3)
+
+    def test_noisy_parity_labels_binary(self):
+        dataset = make_noisy_parity(n_rows=100, seed=0)
+        assert set(np.unique(dataset.labels)).issubset({0, 1})

@@ -1,0 +1,68 @@
+"""Tests for the challenge/response authentication."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.netproto.auth import UserRegistry, compute_response
+
+
+@pytest.fixture()
+def registry() -> UserRegistry:
+    reg = UserRegistry()
+    reg.add_user("monetdb", "monetdb", database="demo")
+    return reg
+
+
+class TestRegistry:
+    def test_add_and_lookup(self, registry):
+        assert registry.has_user("monetdb")
+        assert not registry.has_user("nobody")
+
+    def test_challenge_changes_every_time(self, registry):
+        _, challenge_a = registry.challenge_for("monetdb")
+        _, challenge_b = registry.challenge_for("monetdb")
+        assert challenge_a != challenge_b
+
+    def test_salt_is_stable_per_user(self, registry):
+        salt_a, _ = registry.challenge_for("monetdb")
+        salt_b, _ = registry.challenge_for("monetdb")
+        assert salt_a == salt_b
+
+    def test_unknown_user_still_gets_a_challenge(self, registry):
+        salt, challenge = registry.challenge_for("ghost")
+        assert len(salt) == 16 and len(challenge) == 16
+
+
+class TestVerification:
+    def test_correct_password_accepted(self, registry):
+        salt, challenge = registry.challenge_for("monetdb")
+        response = compute_response("monetdb", salt, challenge)
+        account = registry.verify("monetdb", challenge, response)
+        assert account.username == "monetdb"
+
+    def test_wrong_password_rejected(self, registry):
+        salt, challenge = registry.challenge_for("monetdb")
+        response = compute_response("wrong", salt, challenge)
+        with pytest.raises(AuthenticationError):
+            registry.verify("monetdb", challenge, response)
+
+    def test_unknown_user_rejected(self, registry):
+        salt, challenge = registry.challenge_for("ghost")
+        response = compute_response("whatever", salt, challenge)
+        with pytest.raises(AuthenticationError):
+            registry.verify("ghost", challenge, response)
+
+    def test_replayed_response_with_new_challenge_rejected(self, registry):
+        salt, challenge = registry.challenge_for("monetdb")
+        response = compute_response("monetdb", salt, challenge)
+        registry.verify("monetdb", challenge, response)
+        _, new_challenge = registry.challenge_for("monetdb")
+        with pytest.raises(AuthenticationError):
+            registry.verify("monetdb", new_challenge, response)
+
+    def test_database_access_check(self, registry):
+        salt, challenge = registry.challenge_for("monetdb")
+        response = compute_response("monetdb", salt, challenge)
+        with pytest.raises(AuthenticationError):
+            registry.verify("monetdb", challenge, response, database="other_db")
+        registry.verify("monetdb", challenge, response, database="demo")

@@ -1,0 +1,71 @@
+"""Tests for the password-keyed encryption of extracted data (paper §2.1-2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecryptionError
+from repro.netproto.encryption import decrypt, derive_key, encrypt, is_encrypted
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("payload", [b"", b"x", b"secret data" * 100, bytes(range(256))])
+    def test_encrypt_decrypt(self, payload):
+        blob = encrypt(payload, "monetdb")
+        assert decrypt(blob, "monetdb") == payload
+
+    def test_ciphertext_differs_from_plaintext(self):
+        payload = b"sensitive customer records"
+        blob = encrypt(payload, "password")
+        assert payload not in blob
+
+    def test_encryption_is_randomised(self):
+        payload = b"same payload"
+        assert encrypt(payload, "pw") != encrypt(payload, "pw")
+
+    def test_is_encrypted_detector(self):
+        assert is_encrypted(encrypt(b"data", "pw"))
+        assert not is_encrypted(b"plain bytes")
+
+
+class TestKeying:
+    def test_wrong_password_rejected(self):
+        blob = encrypt(b"the data", "correct horse")
+        with pytest.raises(DecryptionError):
+            decrypt(blob, "battery staple")
+
+    def test_tampered_ciphertext_rejected(self):
+        blob = bytearray(encrypt(b"the data", "pw"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            decrypt(bytes(blob), "pw")
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(DecryptionError):
+            decrypt(b"dUE1short", "pw")
+
+    def test_not_a_blob_rejected(self):
+        with pytest.raises(DecryptionError):
+            decrypt(b"completely unrelated bytes", "pw")
+
+    def test_derive_key_depends_on_salt_and_password(self):
+        assert derive_key("pw", b"salt1") != derive_key("pw", b"salt2")
+        assert derive_key("pw1", b"salt") != derive_key("pw2", b"salt")
+        assert derive_key("pw", b"salt") == derive_key("pw", b"salt")
+        assert len(derive_key("pw", b"salt")) == 32
+
+
+class TestEncryptionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(max_size=2000), st.text(min_size=1, max_size=30))
+    def test_roundtrip_property(self, payload, password):
+        assert decrypt(encrypt(payload, password), password) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=1, max_size=500),
+           st.text(min_size=1, max_size=20), st.text(min_size=1, max_size=20))
+    def test_wrong_password_property(self, payload, password, other):
+        if password == other:
+            return
+        with pytest.raises(DecryptionError):
+            decrypt(encrypt(payload, password), other)

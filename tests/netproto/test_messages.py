@@ -1,0 +1,86 @@
+"""Tests for protocol message helpers and transfer statistics."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.netproto.compression import CODEC_ZLIB
+from repro.netproto.messages import (
+    TransferStats,
+    decode_result,
+    encode_result,
+    payload_dict_to_result,
+    result_to_payload_dict,
+)
+from repro.sqldb.result import QueryResult, ResultColumn
+from repro.sqldb.types import SQLType
+
+
+@pytest.fixture()
+def sample_result() -> QueryResult:
+    return QueryResult([
+        ResultColumn("i", SQLType.INTEGER, [1, 2, 3]),
+        ResultColumn("name", SQLType.STRING, ["a", "b", None]),
+    ], affected_rows=0, statement_type="SELECT")
+
+
+class TestPayloadDicts:
+    def test_result_to_payload_and_back(self, sample_result):
+        payload = result_to_payload_dict(sample_result)
+        assert payload["statement_type"] == "SELECT"
+        assert payload["columns"][0]["name"] == "i"
+        rebuilt = payload_dict_to_result(payload)
+        assert rebuilt.fetchall() == sample_result.fetchall()
+        assert rebuilt.column("name").sql_type is SQLType.STRING
+
+    def test_numpy_scalars_normalised(self):
+        import numpy as np
+
+        result = QueryResult([ResultColumn("x", SQLType.INTEGER, [np.int64(5)])])
+        payload = result_to_payload_dict(result)
+        assert payload["columns"][0]["values"] == [5]
+
+    def test_dml_result_round_trip(self):
+        result = QueryResult.empty(affected_rows=7, statement_type="INSERT")
+        rebuilt = payload_dict_to_result(result_to_payload_dict(result))
+        assert rebuilt.affected_rows == 7
+        assert rebuilt.statement_type == "INSERT"
+        assert rebuilt.row_count == 0
+
+
+class TestEncodeDecodeResult:
+    def test_plain(self, sample_result):
+        encoded = encode_result(sample_result)
+        assert not encoded.compressed and not encoded.encrypted
+        decoded = decode_result(encoded.blob, compressed=False, encrypted=False)
+        assert decoded.fetchall() == sample_result.fetchall()
+
+    def test_encrypted_requires_key_to_decode(self, sample_result):
+        encoded = encode_result(sample_result, encryption_key="k")
+        with pytest.raises(ProtocolError):
+            decode_result(encoded.blob, compressed=False, encrypted=True)
+        decoded = decode_result(encoded.blob, compressed=False, encrypted=True,
+                                encryption_key="k")
+        assert decoded.row_count == 3
+
+    def test_compression_none_keyword_is_noop(self, sample_result):
+        encoded = encode_result(sample_result, compression="none")
+        assert not encoded.compressed
+        assert encoded.stats.compression_codec == "none"
+
+    def test_stats_compression_ratio(self, sample_result):
+        big = QueryResult([ResultColumn("s", SQLType.STRING, ["x" * 50] * 500)])
+        encoded = encode_result(big, compression=CODEC_ZLIB)
+        assert encoded.stats.compression_ratio > 10
+
+
+class TestTransferStats:
+    def test_ratio_defaults_to_one(self):
+        assert TransferStats().compression_ratio == 1.0
+
+    def test_as_dict_keys(self):
+        stats = TransferStats(raw_bytes=100, compressed_bytes=50, wire_bytes=50,
+                              compression_codec=CODEC_ZLIB)
+        payload = stats.as_dict()
+        assert payload["compression_ratio"] == 2.0
+        assert payload["compression_codec"] == CODEC_ZLIB
+        assert set(payload) >= {"raw_bytes", "wire_bytes", "encrypted", "total_rows"}

@@ -1,0 +1,84 @@
+"""Tests for uniform random sampling of result sets (paper §2.1-2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netproto.sampling import SampleSpec, sample_columns, sample_indices
+
+
+class TestSampleSpec:
+    def test_requires_exactly_one_of_size_or_fraction(self):
+        with pytest.raises(ValueError):
+            SampleSpec()
+        with pytest.raises(ValueError):
+            SampleSpec(size=10, fraction=0.5)
+
+    def test_validates_ranges(self):
+        with pytest.raises(ValueError):
+            SampleSpec(size=-1)
+        with pytest.raises(ValueError):
+            SampleSpec(fraction=0.0)
+        with pytest.raises(ValueError):
+            SampleSpec(fraction=1.5)
+
+    def test_resolve_size(self):
+        assert SampleSpec(size=10).resolve_size(100) == 10
+        assert SampleSpec(size=200).resolve_size(100) == 100
+        assert SampleSpec(fraction=0.25).resolve_size(100) == 25
+        assert SampleSpec(fraction=0.001).resolve_size(100) == 1
+
+
+class TestSampleIndices:
+    def test_without_replacement_and_sorted(self):
+        indices = sample_indices(100, SampleSpec(size=30, seed=1))
+        assert len(indices) == len(set(indices)) == 30
+        assert indices == sorted(indices)
+        assert all(0 <= i < 100 for i in indices)
+
+    def test_seed_reproducibility(self):
+        spec = SampleSpec(fraction=0.5, seed=42)
+        assert sample_indices(50, spec) == sample_indices(50, spec)
+
+    def test_different_seeds_differ(self):
+        a = sample_indices(1000, SampleSpec(size=100, seed=1))
+        b = sample_indices(1000, SampleSpec(size=100, seed=2))
+        assert a != b
+
+    def test_full_sample_returns_all_rows(self):
+        assert sample_indices(10, SampleSpec(fraction=1.0)) == list(range(10))
+        assert sample_indices(10, SampleSpec(size=10)) == list(range(10))
+
+
+class TestSampleColumns:
+    def test_row_alignment_preserved(self):
+        columns = {"i": list(range(100)), "j": [v * 2 for v in range(100)]}
+        sampled = sample_columns(columns, SampleSpec(size=20, seed=3))
+        assert len(sampled["i"]) == len(sampled["j"]) == 20
+        assert all(j == 2 * i for i, j in zip(sampled["i"], sampled["j"]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sample_columns({"a": [1, 2], "b": [1]}, SampleSpec(size=1))
+
+    def test_empty_columns(self):
+        assert sample_columns({}, SampleSpec(size=5)) == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.01, max_value=1.0),
+           st.integers(min_value=0, max_value=10_000))
+    def test_sample_size_close_to_fraction(self, rows, fraction, seed):
+        """Uniform sampling: the sample size tracks the requested fraction (C2)."""
+        spec = SampleSpec(fraction=fraction, seed=seed)
+        indices = sample_indices(rows, spec)
+        expected = spec.resolve_size(rows)
+        assert len(indices) == expected
+        assert expected <= rows
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=10, max_value=300), st.integers(min_value=0, max_value=100))
+    def test_sample_is_subset_of_rows(self, rows, seed):
+        values = list(range(rows))
+        sampled = sample_columns({"v": values}, SampleSpec(fraction=0.3, seed=seed))
+        assert set(sampled["v"]).issubset(set(values))

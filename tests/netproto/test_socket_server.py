@@ -1,0 +1,80 @@
+"""Integration tests for the TCP socket transport."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.netproto.client import Connection, ConnectionInfo, TransferOptions
+from repro.netproto.server import DatabaseServer, SocketServer, start_demo_server
+from repro.sqldb.database import Database
+
+
+@pytest.fixture()
+def tcp_server():
+    database = Database()
+    database.execute("CREATE TABLE t (i INTEGER)")
+    database.execute("INSERT INTO t VALUES (1), (2), (3)")
+    server = DatabaseServer(database)
+    socket_server = SocketServer(server, host="127.0.0.1", port=0)
+    host, port = socket_server.start_background()
+    yield server, host, port
+    socket_server.stop()
+
+
+class TestSocketTransport:
+    def test_query_over_tcp(self, tcp_server):
+        _, host, port = tcp_server
+        connection = Connection.connect_tcp(ConnectionInfo(host=host, port=port))
+        assert connection.execute("SELECT SUM(i) FROM t").scalar() == 6
+        connection.close()
+
+    def test_multiple_sequential_connections(self, tcp_server):
+        server, host, port = tcp_server
+        for _ in range(3):
+            connection = Connection.connect_tcp(ConnectionInfo(host=host, port=port))
+            assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 3
+            connection.close()
+        assert server.stats.sessions_opened == 3
+
+    def test_concurrent_connections(self, tcp_server):
+        _, host, port = tcp_server
+        connections = [Connection.connect_tcp(ConnectionInfo(host=host, port=port))
+                       for _ in range(4)]
+        try:
+            for index, connection in enumerate(connections):
+                assert connection.execute("SELECT %d", (index,)).scalar() == index
+        finally:
+            for connection in connections:
+                connection.close()
+
+    def test_wrong_password_over_tcp(self, tcp_server):
+        _, host, port = tcp_server
+        with pytest.raises(AuthenticationError):
+            Connection.connect_tcp(ConnectionInfo(host=host, port=port, password="bad"))
+
+    def test_transfer_options_over_tcp(self, tcp_server):
+        _, host, port = tcp_server
+        connection = Connection.connect_tcp(ConnectionInfo(host=host, port=port))
+        result = connection.execute(
+            "SELECT * FROM t", options=TransferOptions(compression="zlib", encrypt=True))
+        assert result.row_count == 3
+        connection.close()
+
+    def test_udf_lifecycle_over_tcp(self, tcp_server):
+        _, host, port = tcp_server
+        connection = Connection.connect_tcp(ConnectionInfo(host=host, port=port))
+        connection.execute("CREATE FUNCTION halve(x INTEGER) RETURNS DOUBLE "
+                           "LANGUAGE PYTHON { return x / 2.0 }")
+        assert connection.execute("SELECT halve(i) FROM t WHERE i = 2").scalar() == 1.0
+        connection.close()
+
+
+class TestStartDemoServer:
+    def test_start_and_query(self):
+        server, socket_server, (host, port) = start_demo_server()
+        try:
+            connection = Connection.connect_tcp(
+                ConnectionInfo(host=host, port=port, database=server.database.name))
+            assert connection.execute("SELECT 1 + 1").scalar() == 2
+            connection.close()
+        finally:
+            socket_server.stop()

@@ -1,0 +1,125 @@
+"""Unit tests for the built-in scalar functions and aggregates."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqldb.aggregates import call_aggregate, is_aggregate
+from repro.sqldb.functions import call_builtin_scalar, is_builtin_scalar
+
+
+class TestScalarBuiltins:
+    @pytest.mark.parametrize("name,args,expected", [
+        ("ABS", [-3], 3),
+        ("ROUND", [2.567, 1], 2.6),
+        ("FLOOR", [2.7], 2),
+        ("CEIL", [2.1], 3),
+        ("SQRT", [16], 4.0),
+        ("POWER", [2, 10], 1024),
+        ("MOD", [10, 3], 1),
+        ("SIGN", [-5], -1),
+        ("SIGN", [0], 0),
+        ("GREATEST", [1, 9, 4], 9),
+        ("LEAST", [1, 9, 4], 1),
+        ("LENGTH", ["hello"], 5),
+        ("LOWER", ["MiXeD"], "mixed"),
+        ("UPPER", ["MiXeD"], "MIXED"),
+        ("TRIM", ["  x  "], "x"),
+        ("SUBSTRING", ["abcdef", 2, 3], "bcd"),
+        ("SUBSTRING", ["abcdef", 4], "def"),
+        ("REPLACE", ["a-b-c", "-", "+"], "a+b+c"),
+        ("CONCAT", ["a", 1, None, "b"], "a1b"),
+        ("REVERSE", ["abc"], "cba"),
+        ("STARTSWITH", ["devudf", "dev"], True),
+        ("ENDSWITH", ["devudf", "udf"], True),
+        ("CONTAINS", ["mean_deviation", "dev"], True),
+    ])
+    def test_builtin_values(self, name, args, expected):
+        result = call_builtin_scalar(name, args)
+        if isinstance(expected, float):
+            assert result == pytest.approx(expected)
+        else:
+            assert result == expected
+
+    def test_log_variants(self):
+        assert call_builtin_scalar("LN", [math.e]) == pytest.approx(1.0)
+        assert call_builtin_scalar("LOG10", [1000]) == pytest.approx(3.0)
+        assert call_builtin_scalar("LOG", [8, 2]) == pytest.approx(3.0)
+
+    def test_null_propagation(self):
+        assert call_builtin_scalar("ABS", [None]) is None
+        assert call_builtin_scalar("SUBSTRING", [None, 1, 2]) is None
+
+    def test_null_tolerant_functions(self):
+        assert call_builtin_scalar("COALESCE", [None, None, 7]) == 7
+        assert call_builtin_scalar("COALESCE", [None, None]) is None
+        assert call_builtin_scalar("IFNULL", [None, "default"]) == "default"
+        assert call_builtin_scalar("IFNULL", ["value", "default"]) == "value"
+        assert call_builtin_scalar("NULLIF", [3, 3]) is None
+        assert call_builtin_scalar("NULLIF", [3, 4]) == 3
+        assert call_builtin_scalar("ISNULL", [None]) is True
+
+    def test_error_wrapped_as_execution_error(self):
+        with pytest.raises(ExecutionError):
+            call_builtin_scalar("SQRT", ["not a number"])
+        with pytest.raises(ExecutionError):
+            call_builtin_scalar("MOD", [1, 0])
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            call_builtin_scalar("FROBNICATE", [1])
+
+    def test_is_builtin_scalar(self):
+        assert is_builtin_scalar("abs")
+        assert is_builtin_scalar("Coalesce")
+        assert not is_builtin_scalar("sum")
+        assert not is_builtin_scalar("mean_deviation")
+
+
+class TestAggregates:
+    def test_is_aggregate(self):
+        assert is_aggregate("SUM") and is_aggregate("count") and is_aggregate("Median")
+        assert not is_aggregate("ABS")
+
+    def test_basic_aggregates(self):
+        values = [4, 1, 3, 2]
+        assert call_aggregate("SUM", values) == 10
+        assert call_aggregate("AVG", values) == 2.5
+        assert call_aggregate("MIN", values) == 1
+        assert call_aggregate("MAX", values) == 4
+        assert call_aggregate("COUNT", values) == 4
+        assert call_aggregate("MEDIAN", values) == 2.5
+        assert call_aggregate("MEDIAN", [1, 2, 3]) == 2
+
+    def test_nulls_ignored(self):
+        values = [1, None, 3, None]
+        assert call_aggregate("SUM", values) == 4
+        assert call_aggregate("COUNT", values) == 2
+        assert call_aggregate("AVG", values) == 2.0
+
+    def test_count_star_counts_nulls(self):
+        assert call_aggregate("COUNT", [1, None, 3], is_star=True) == 3
+
+    def test_empty_input(self):
+        assert call_aggregate("SUM", []) is None
+        assert call_aggregate("MIN", []) is None
+        assert call_aggregate("COUNT", []) == 0
+        assert call_aggregate("MEDIAN", []) is None
+
+    def test_stddev_and_variance(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert call_aggregate("VAR_SAMP", values) == pytest.approx(4.571428, rel=1e-5)
+        assert call_aggregate("STDDEV", values) == pytest.approx(2.13809, rel=1e-5)
+        assert call_aggregate("STDDEV", [5]) is None
+
+    def test_distinct(self):
+        assert call_aggregate("SUM", [1, 1, 2, 2, 3], distinct=True) == 6
+        assert call_aggregate("COUNT", [1, 1, 2], distinct=True) == 2
+
+    def test_group_concat(self):
+        assert call_aggregate("GROUP_CONCAT", ["a", None, "b"]) == "a,b"
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            call_aggregate("PRODUCT", [1, 2])

@@ -1,0 +1,106 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb.lexer import Lexer, TokenType
+
+
+def token_values(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in Lexer(sql).tokens() if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self):
+        tokens = token_values("SELECT foo FROM bar")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.IDENTIFIER, "foo"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.IDENTIFIER, "bar"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = token_values("select From")
+        assert all(t[0] is TokenType.KEYWORD for t in tokens)
+
+    def test_numbers(self):
+        tokens = token_values("1 2.5 1e3 3.5e-2")
+        assert [t[1] for t in tokens] == ["1", "2.5", "1e3", "3.5e-2"]
+        assert all(t[0] is TokenType.NUMBER for t in tokens)
+
+    def test_strings(self):
+        tokens = token_values("'hello' 'it''s'")
+        assert tokens == [(TokenType.STRING, "hello"), (TokenType.STRING, "it's")]
+
+    def test_operators(self):
+        tokens = token_values("a <= b <> c || d")
+        operators = [t[1] for t in tokens if t[0] is TokenType.OPERATOR]
+        assert operators == ["<=", "<>", "||"]
+
+    def test_punctuation(self):
+        tokens = token_values("f(a, b);")
+        punct = [t[1] for t in tokens if t[0] is TokenType.PUNCTUATION]
+        assert punct == ["(", ",", ")", ";"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            Lexer("'oops").tokens()
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            Lexer("SELECT @foo").tokens()
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        tokens = token_values("SELECT 1 -- trailing comment\n")
+        assert [t[1] for t in tokens] == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        tokens = token_values("SELECT /* inline */ 1")
+        assert [t[1] for t in tokens] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            Lexer("SELECT /* nope").tokens()
+
+
+class TestBracedBlock:
+    def test_simple_block(self):
+        sql = "LANGUAGE PYTHON { return 1 };"
+        lexer = Lexer(sql)
+        position = sql.index("{")
+        body, end = lexer.scan_braced_block(position)
+        assert body.strip() == "return 1"
+        assert sql[end - 1] == "}"
+
+    def test_nested_braces(self):
+        sql = "{ d = {'a': 1, 'b': {2: 3}}\n return d };"
+        body, end = Lexer(sql).scan_braced_block(0)
+        assert "{'a': 1" in body
+        assert sql[end:] == ";"
+
+    def test_braces_inside_strings_ignored(self):
+        sql = "{ s = '}}}'\n return s }"
+        body, _ = Lexer(sql).scan_braced_block(0)
+        assert "'}}}'" in body
+
+    def test_braces_inside_comments_ignored(self):
+        sql = "{ x = 1  # closing } in a comment\n return x }"
+        body, _ = Lexer(sql).scan_braced_block(0)
+        assert "return x" in body
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            Lexer("{ return 1").scan_braced_block(0)
+
+    def test_python_body_with_colons_and_quotes(self):
+        body_text = (
+            "\n    for i in range(0, 10):\n"
+            "        print('value: {}'.format(i))\n"
+            "    return i\n"
+        )
+        sql = "{" + body_text + "};"
+        body, _ = Lexer(sql).scan_braced_block(0)
+        assert body == body_text

@@ -1,0 +1,299 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_script, parse_statement
+from repro.sqldb.types import SQLType
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT i FROM numbers")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 1
+        assert isinstance(stmt.items[0].expression, ast.ColumnRef)
+        assert isinstance(stmt.from_clause, ast.NamedTable)
+        assert stmt.from_clause.name == "numbers"
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 2")
+        assert stmt.from_clause is None
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT i AS value, i plain FROM numbers n")
+        assert stmt.items[0].alias == "value"
+        assert stmt.items[1].alias == "plain"
+        assert stmt.from_clause.alias == "n"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT i, COUNT(*) AS c FROM t WHERE i > 2 GROUP BY i "
+            "HAVING COUNT(*) > 1 ORDER BY c DESC, i LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT i FROM t").distinct is True
+
+    def test_qualified_columns_and_schema_tables(self):
+        stmt = parse_statement("SELECT f.name FROM sys.functions f")
+        column = stmt.items[0].expression
+        assert column.table == "f" and column.name == "name"
+        assert stmt.from_clause.name == "sys.functions"
+        assert stmt.from_clause.alias == "f"
+
+    def test_join_parsing(self):
+        stmt = parse_statement(
+            "SELECT a.i FROM t a JOIN u b ON a.i = b.i LEFT JOIN v c ON a.i = c.i")
+        outer = stmt.from_clause
+        assert isinstance(outer, ast.Join)
+        assert outer.join_type == "LEFT"
+        inner = outer.left
+        assert isinstance(inner, ast.Join)
+        assert inner.join_type == "INNER"
+
+    def test_comma_join_is_cross_join(self):
+        stmt = parse_statement("SELECT 1 FROM a, b")
+        assert isinstance(stmt.from_clause, ast.Join)
+        assert stmt.from_clause.join_type == "CROSS"
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement("SELECT x FROM (SELECT i AS x FROM t) sub")
+        assert isinstance(stmt.from_clause, ast.SubquerySource)
+        assert stmt.from_clause.alias == "sub"
+
+    def test_table_function_in_from(self):
+        stmt = parse_statement("SELECT * FROM loadNumbers('/data')")
+        assert isinstance(stmt.from_clause, ast.TableFunctionCall)
+        assert stmt.from_clause.name == "loadNumbers"
+        assert isinstance(stmt.from_clause.args[0], ast.Literal)
+
+    def test_table_function_with_subquery_argument(self):
+        # the Listing 3 shape
+        stmt = parse_statement(
+            "SELECT * FROM train_rnforest((SELECT data, labels FROM trainingset), 5)")
+        call = stmt.from_clause
+        assert isinstance(call, ast.TableFunctionCall)
+        assert isinstance(call.args[0], ast.Select)
+        assert isinstance(call.args[1], ast.Literal)
+        assert call.args[1].value == 5
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        stmt = parse_statement("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expression
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_boolean_operators(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a > 1 AND b < 2 OR NOT c = 3")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "OR"
+
+    def test_in_between_like_isnull(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM t WHERE a IN (1, 2) AND b BETWEEN 1 AND 5 "
+            "AND c LIKE 'x%' AND d IS NOT NULL")
+        text = repr(stmt.where)
+        assert "InList" in text and "Between" in text and "Like" in text and "IsNull" in text
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a NOT IN (1, 2)")
+        node = stmt.where
+        assert isinstance(node, ast.InList) and node.negated
+
+    def test_case_expression(self):
+        stmt = parse_statement(
+            "SELECT CASE WHEN i > 0 THEN 'pos' WHEN i < 0 THEN 'neg' ELSE 'zero' END FROM t")
+        case = stmt.items[0].expression
+        assert isinstance(case, ast.CaseExpression)
+        assert len(case.whens) == 2
+        assert case.default is not None
+
+    def test_cast(self):
+        stmt = parse_statement("SELECT CAST(i AS DOUBLE) FROM t")
+        cast = stmt.items[0].expression
+        assert isinstance(cast, ast.Cast)
+        assert cast.target_type is SQLType.DOUBLE
+
+    def test_scalar_subquery_and_exists(self):
+        stmt = parse_statement(
+            "SELECT (SELECT MAX(i) FROM t) FROM u WHERE EXISTS (SELECT 1 FROM t)")
+        assert isinstance(stmt.items[0].expression, ast.ScalarSubquery)
+        assert isinstance(stmt.where, ast.ExistsSubquery)
+
+    def test_in_subquery(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE i IN (SELECT i FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_unary_minus_and_literals(self):
+        stmt = parse_statement("SELECT -5, 2.5, 'text', NULL, TRUE, FALSE")
+        values = stmt.items
+        assert isinstance(values[0].expression, ast.UnaryOp)
+        assert values[1].expression.value == 2.5
+        assert values[2].expression.value == "text"
+        assert values[3].expression.value is None
+        assert values[4].expression.value is True
+        assert values[5].expression.value is False
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expression
+        assert isinstance(call, ast.FunctionCall)
+        assert isinstance(call.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT i) FROM t")
+        assert stmt.items[0].expression.distinct is True
+
+
+class TestDDLAndDML:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (i INTEGER NOT NULL, name VARCHAR, x DOUBLE)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert [c.name for c in stmt.columns] == ["i", "name", "x"]
+        assert stmt.columns[0].col_type.nullable is False
+        assert stmt.columns[1].sql_type is SQLType.STRING
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (i INT)")
+        assert stmt.if_not_exists is True
+
+    def test_create_table_as_select(self):
+        stmt = parse_statement("CREATE TABLE copy AS SELECT i FROM t")
+        assert stmt.as_select is not None
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.if_exists is True
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (i, s) VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.InsertValues)
+        assert stmt.columns == ["i", "s"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT i FROM u")
+        assert isinstance(stmt, ast.InsertSelect)
+
+    def test_delete_and_update(self):
+        delete = parse_statement("DELETE FROM t WHERE i > 3")
+        assert isinstance(delete, ast.Delete) and delete.where is not None
+        update = parse_statement("UPDATE t SET i = i + 1, s = 'x' WHERE i = 1")
+        assert isinstance(update, ast.Update)
+        assert len(update.assignments) == 2
+
+    def test_copy_into(self):
+        stmt = parse_statement("COPY INTO numbers FROM '/tmp/data.csv' DELIMITERS ';' HEADER")
+        assert isinstance(stmt, ast.CopyInto)
+        assert stmt.path == "/tmp/data.csv"
+        assert stmt.delimiter == ";"
+        assert stmt.header is True
+
+
+class TestCreateFunction:
+    MEAN_DEVIATION = (
+        "CREATE FUNCTION mean_deviation(column INTEGER)\n"
+        "RETURNS DOUBLE LANGUAGE PYTHON {\n"
+        "    mean = 0\n"
+        "    for i in range(0, len(column)):\n"
+        "        mean += column[i]\n"
+        "    return mean / len(column)\n"
+        "};"
+    )
+
+    def test_scalar_function(self):
+        stmt = parse_statement(self.MEAN_DEVIATION)
+        assert isinstance(stmt, ast.CreateFunction)
+        assert stmt.name == "mean_deviation"
+        assert stmt.parameters[0].name == "column"
+        assert stmt.parameters[0].sql_type is SQLType.INTEGER
+        assert stmt.return_type is SQLType.DOUBLE
+        assert stmt.returns_table is False
+        assert "for i in range(0, len(column)):" in stmt.body
+
+    def test_table_function(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION loadNumbers(path STRING) RETURNS TABLE(i INTEGER) "
+            "LANGUAGE PYTHON { return [1, 2, 3] };")
+        assert stmt.returns_table is True
+        assert stmt.return_columns[0].name == "i"
+
+    def test_or_replace(self):
+        stmt = parse_statement(
+            "CREATE OR REPLACE FUNCTION f(x INT) RETURNS INT LANGUAGE PYTHON { return x };")
+        assert stmt.or_replace is True
+
+    def test_body_is_verbatim_python(self):
+        sql = (
+            "CREATE FUNCTION tricky(x INT) RETURNS INT LANGUAGE PYTHON {\n"
+            "    d = {'a': 1}\n"
+            "    s = 'a string with } brace'\n"
+            "    # a comment with { brace\n"
+            "    return d['a'] + x[0]\n"
+            "};"
+        )
+        stmt = parse_statement(sql)
+        assert "'a string with } brace'" in stmt.body
+        assert "# a comment with { brace" in stmt.body
+
+    def test_drop_function(self):
+        stmt = parse_statement("DROP FUNCTION IF EXISTS mean_deviation")
+        assert isinstance(stmt, ast.DropFunction)
+        assert stmt.if_exists is True
+
+    def test_multiple_parameters(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f(a INT, b DOUBLE, c STRING) RETURNS DOUBLE "
+            "LANGUAGE PYTHON { return 1.0 };")
+        assert [p.name for p in stmt.parameters] == ["a", "b", "c"]
+        assert [p.number for p in stmt.parameters] == [0, 1, 2]
+
+
+class TestScripts:
+    def test_parse_script_multiple_statements(self):
+        statements = parse_script(
+            "CREATE TABLE t (i INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+        assert len(statements) == 3
+
+    def test_parse_script_with_function_and_query(self):
+        statements = parse_script(
+            "CREATE FUNCTION f(x INT) RETURNS INT LANGUAGE PYTHON { return x };\n"
+            "SELECT f(i) FROM t;")
+        assert isinstance(statements[0], ast.CreateFunction)
+        assert isinstance(statements[1], ast.Select)
+
+    def test_empty_statements_skipped(self):
+        assert len(parse_script(";;SELECT 1;;")) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT FROM t",
+        "CREATE TABLE",
+        "INSERT INTO t",
+        "FROBNICATE x",
+        "SELECT * FROM t WHERE",
+        "CREATE FUNCTION f(x INT) RETURNS INT LANGUAGE PYTHON return x",
+    ])
+    def test_invalid_sql_raises(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the SQL engine's core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb.aggregates import call_aggregate
+from repro.sqldb.catalog import make_signature
+from repro.sqldb.database import Database
+from repro.sqldb.parser import parse_statement
+from repro.sqldb.render import render_select
+from repro.sqldb.storage import column_to_numpy
+from repro.sqldb.types import SQLType, coerce_value, infer_sql_type
+from repro.sqldb.udf import build_udf_source, compile_udf
+
+# keep hypothesis example counts modest: each example spins real engine machinery
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+small_ints = st.integers(min_value=-10**6, max_value=10**6)
+int_lists = st.lists(small_ints, min_size=1, max_size=50)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestCoercionProperties:
+    @_SETTINGS
+    @given(small_ints)
+    def test_integer_coercion_is_identity(self, value):
+        assert coerce_value(value, SQLType.INTEGER) == value
+
+    @_SETTINGS
+    @given(floats)
+    def test_double_roundtrip(self, value):
+        assert coerce_value(value, SQLType.DOUBLE) == pytest.approx(float(value))
+
+    @_SETTINGS
+    @given(st.text(max_size=50))
+    def test_string_coercion_is_str(self, value):
+        assert coerce_value(value, SQLType.STRING) == str(value)
+
+    @_SETTINGS
+    @given(st.one_of(st.none(), st.booleans(), small_ints, floats, st.text(max_size=20)))
+    def test_inferred_type_can_hold_the_value(self, value):
+        if value is None:
+            return
+        inferred = infer_sql_type(value)
+        assert coerce_value(value, inferred) is not None
+
+
+class TestAggregateProperties:
+    @_SETTINGS
+    @given(int_lists)
+    def test_sum_matches_python(self, values):
+        assert call_aggregate("SUM", values) == sum(values)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_avg_matches_numpy(self, values):
+        assert call_aggregate("AVG", values) == pytest.approx(float(np.mean(values)))
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_min_max_bound_all_values(self, values):
+        low = call_aggregate("MIN", values)
+        high = call_aggregate("MAX", values)
+        assert all(low <= v <= high for v in values)
+
+    @_SETTINGS
+    @given(int_lists, st.lists(st.none(), max_size=10))
+    def test_count_ignores_nulls(self, values, nulls):
+        mixed = list(values) + list(nulls)
+        assert call_aggregate("COUNT", mixed) == len(values)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_median_is_between_min_and_max(self, values):
+        median = call_aggregate("MEDIAN", values)
+        assert min(values) <= median <= max(values)
+
+
+class TestColumnConversionProperties:
+    @_SETTINGS
+    @given(int_lists)
+    def test_numpy_conversion_preserves_values(self, values):
+        array = column_to_numpy(values, SQLType.INTEGER)
+        assert array.tolist() == values
+
+    @_SETTINGS
+    @given(st.lists(st.one_of(small_ints, st.none()), min_size=1, max_size=30))
+    def test_nullable_columns_keep_none(self, values):
+        array = column_to_numpy(values, SQLType.INTEGER)
+        assert list(array) == values
+
+
+class TestEngineProperties:
+    @_SETTINGS
+    @given(int_lists)
+    def test_sql_aggregates_match_python(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i BIGINT)")
+        for value in values:
+            db.execute(f"INSERT INTO t VALUES ({value})")
+        total, count = db.execute("SELECT SUM(i), COUNT(*) FROM t").fetchone()
+        assert total == sum(values)
+        assert count == len(values)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_where_partitions_rows(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i BIGINT)")
+        for value in values:
+            db.execute(f"INSERT INTO t VALUES ({value})")
+        positive = db.execute("SELECT COUNT(*) FROM t WHERE i > 0").scalar()
+        non_positive = db.execute("SELECT COUNT(*) FROM t WHERE NOT i > 0").scalar()
+        assert positive + non_positive == len(values)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_order_by_sorts(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i BIGINT)")
+        for value in values:
+            db.execute(f"INSERT INTO t VALUES ({value})")
+        ordered = [r[0] for r in db.execute("SELECT i FROM t ORDER BY i").rows()]
+        assert ordered == sorted(values)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_scalar_udf_matches_numpy_sum(self, values):
+        db = Database()
+        db.execute("CREATE TABLE t (i BIGINT)")
+        for value in values:
+            db.execute(f"INSERT INTO t VALUES ({value})")
+        db.execute("CREATE FUNCTION py_total(x BIGINT) RETURNS DOUBLE "
+                   "LANGUAGE PYTHON { return float(numpy.sum(x)) }")
+        assert db.execute("SELECT py_total(i) FROM t").scalar() == pytest.approx(
+            float(sum(values)))
+
+
+class TestRenderRoundTripProperties:
+    """render(parse(q)) must parse again and mean the same thing."""
+
+    _QUERIES = [
+        "SELECT i FROM t WHERE i > {} ORDER BY i",
+        "SELECT i + {} FROM t ORDER BY 1",
+        "SELECT COUNT(*) FROM t WHERE i BETWEEN {} AND 1000",
+        "SELECT s, SUM(i) FROM t GROUP BY s HAVING SUM(i) > {} ORDER BY s",
+    ]
+
+    @_SETTINGS
+    @given(st.integers(min_value=-100, max_value=100),
+           st.sampled_from(range(len(_QUERIES))))
+    def test_render_preserves_semantics(self, constant, query_index):
+        db = Database()
+        db.execute("CREATE TABLE t (i BIGINT, s STRING)")
+        for i in range(-5, 15):
+            db.execute(f"INSERT INTO t VALUES ({i * 7}, '{chr(97 + i % 3)}')")
+        sql = self._QUERIES[query_index].format(constant)
+        original = db.execute(sql).fetchall()
+        rendered = render_select(parse_statement(sql))
+        assert db.execute(rendered).fetchall() == original
+
+
+class TestUDFSourceProperties:
+    @_SETTINGS
+    @given(st.lists(st.sampled_from("abcdefg"), min_size=1, max_size=5, unique=True))
+    def test_generated_header_lists_parameters_in_order(self, param_names):
+        signature = make_signature(
+            "gen", [(name, SQLType.INTEGER) for name in param_names],
+            return_type=SQLType.INTEGER, body="return 0")
+        source = build_udf_source(signature)
+        expected = ", ".join(param_names)
+        assert source.startswith(f"def gen({expected}, _conn=None):")
+        compile_udf(signature)  # must compile

@@ -1,0 +1,79 @@
+"""Tests for QueryResult."""
+
+import numpy as np
+import pytest
+
+from repro.sqldb.result import QueryResult, ResultColumn
+from repro.sqldb.types import SQLType
+
+
+@pytest.fixture()
+def result() -> QueryResult:
+    return QueryResult([
+        ResultColumn("i", SQLType.INTEGER, [1, 2, 3]),
+        ResultColumn("s", SQLType.STRING, ["a", None, "c"]),
+    ])
+
+
+class TestShape:
+    def test_counts(self, result):
+        assert result.row_count == 3
+        assert result.column_count == 2
+        assert len(result) == 3
+        assert result.column_names == ["i", "s"]
+
+    def test_empty_result(self):
+        empty = QueryResult.empty(affected_rows=5, statement_type="INSERT")
+        assert empty.row_count == 0
+        assert empty.affected_rows == 5
+        assert empty.statement_type == "INSERT"
+
+
+class TestAccess:
+    def test_rows_and_fetch(self, result):
+        assert result.fetchall() == [(1, "a"), (2, None), (3, "c")]
+        assert result.fetchone() == (1, "a")
+
+    def test_column_access(self, result):
+        assert result.column("I").values == [1, 2, 3]
+        assert result["s"] == ["a", None, "c"]
+        with pytest.raises(KeyError):
+            result.column("missing")
+
+    def test_scalar(self):
+        single = QueryResult([ResultColumn("x", SQLType.DOUBLE, [4.2])])
+        assert single.scalar() == 4.2
+
+    def test_scalar_requires_1x1(self, result):
+        with pytest.raises(ValueError):
+            result.scalar()
+
+    def test_to_dict_and_numpy(self, result):
+        assert result.to_dict() == {"i": [1, 2, 3], "s": ["a", None, "c"]}
+        arrays = result.to_numpy_dict()
+        assert isinstance(arrays["i"], np.ndarray)
+        assert arrays["i"].dtype == np.int64
+        assert arrays["s"].dtype == object
+
+    def test_from_dict_infers_types(self):
+        built = QueryResult.from_dict({"a": [1, 2], "b": ["x", "y"], "c": [None, None]})
+        assert built.column("a").sql_type is SQLType.INTEGER
+        assert built.column("b").sql_type is SQLType.STRING
+        assert built.column("c").sql_type is SQLType.STRING
+
+
+class TestFormatting:
+    def test_format_table_contains_values(self, result):
+        text = result.format_table()
+        assert "| i" in text
+        assert "NULL" in text
+        assert "| 3" in text
+
+    def test_format_table_truncates_rows(self):
+        big = QueryResult([ResultColumn("i", SQLType.INTEGER, list(range(100)))])
+        text = big.format_table(max_rows=5)
+        assert "100 rows total" in text
+
+    def test_format_of_ddl_result(self):
+        text = QueryResult.empty(statement_type="CREATE TABLE").format_table()
+        assert "CREATE TABLE" in text

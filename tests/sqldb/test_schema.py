@@ -1,0 +1,65 @@
+"""Unit tests for schema objects and CREATE FUNCTION rendering."""
+
+import pytest
+
+from repro.sqldb.catalog import make_signature
+from repro.sqldb.schema import ColumnDef, FunctionParameter, FunctionSignature, TableSchema
+from repro.sqldb.types import ColumnType, SQLType
+
+
+class TestColumnDef:
+    def test_str_and_type_shortcut(self):
+        column = ColumnDef("i", ColumnType(SQLType.INTEGER, nullable=False))
+        assert column.sql_type is SQLType.INTEGER
+        assert str(column) == "i INTEGER NOT NULL"
+
+
+class TestFunctionSignature:
+    def test_parameter_names_ordered(self):
+        signature = FunctionSignature(
+            name="f",
+            parameters=[FunctionParameter("a", SQLType.INTEGER, 0),
+                        FunctionParameter("b", SQLType.DOUBLE, 1)])
+        assert signature.parameter_names == ["a", "b"]
+
+    def test_describe_returns_scalar(self):
+        signature = make_signature("f", [("x", SQLType.INTEGER)],
+                                   return_type=SQLType.DOUBLE)
+        assert signature.describe_returns() == "DOUBLE"
+
+    def test_describe_returns_table(self):
+        signature = make_signature(
+            "t", [("p", SQLType.STRING)], returns_table=True,
+            return_columns=[("i", SQLType.INTEGER), ("s", SQLType.STRING)])
+        assert signature.describe_returns() == "TABLE(i INTEGER, s STRING)"
+
+    def test_describe_returns_defaults_to_double(self):
+        signature = make_signature("f", [])
+        assert signature.describe_returns() == "DOUBLE"
+
+    def test_to_create_sql_contains_body_verbatim(self):
+        body = "x = 1\nreturn x\n"
+        signature = make_signature("f", [("a", SQLType.INTEGER)],
+                                   return_type=SQLType.INTEGER, body=body)
+        sql = signature.to_create_sql()
+        assert "x = 1\nreturn x\n" in sql
+
+    def test_to_create_sql_adds_trailing_newline_to_body(self):
+        signature = make_signature("f", [], return_type=SQLType.INTEGER,
+                                   body="return 1")
+        assert "return 1\n}" in signature.to_create_sql()
+
+
+class TestTableSchema:
+    def test_column_names(self):
+        schema = TableSchema("t", [
+            ColumnDef("a", ColumnType(SQLType.INTEGER)),
+            ColumnDef("b", ColumnType(SQLType.STRING)),
+        ])
+        assert schema.column_names == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_missing_column_raises_keyerror(self):
+        schema = TableSchema("t", [ColumnDef("a", ColumnType(SQLType.INTEGER))])
+        with pytest.raises(KeyError):
+            schema.column_index("zzz")

@@ -1,0 +1,137 @@
+"""Tests for the demo scenarios A and B as DebuggingScenario objects."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.core.debugger import DebugSession
+from repro.core.plugin import DevUDFPlugin
+from repro.core.project import DevUDFProject
+from repro.core.settings import DevUDFSettings
+from repro.netproto.client import Connection
+from repro.netproto.server import DatabaseServer
+from repro.workloads.scenarios import ScenarioA, ScenarioB
+
+
+def quiet_execute(connection, sql):
+    with contextlib.redirect_stdout(io.StringIO()):
+        return connection.execute(sql)
+
+
+class TestScenarioA:
+    @pytest.fixture()
+    def scenario(self, tmp_path) -> ScenarioA:
+        scenario = ScenarioA(tmp_path / "csv", n_files=3, rows_per_file=10)
+        return scenario
+
+    @pytest.fixture()
+    def server(self, scenario) -> DatabaseServer:
+        server = DatabaseServer()
+        scenario.setup(server)
+        return server
+
+    def test_setup_creates_buggy_udf_and_data(self, scenario, server):
+        database = server.database
+        assert database.has_function("mean_deviation")
+        assert database.row_count("numbers") == 30
+
+    def test_buggy_result_detected_as_incorrect(self, scenario, server):
+        connection = Connection.connect_in_process(server)
+        value = connection.execute(scenario.debug_query).scalar()
+        assert not scenario.is_correct(value)
+        assert scenario.reference_value() > 0
+        connection.close()
+
+    def test_fix_sql_produces_correct_result(self, scenario, server):
+        connection = Connection.connect_in_process(server)
+        connection.execute(scenario.fixed_create_sql())
+        value = connection.execute(scenario.debug_query).scalar()
+        assert scenario.is_correct(value)
+        connection.close()
+
+    def test_instrumented_bodies_run(self, scenario, server):
+        connection = Connection.connect_in_process(server)
+        for round_index in range(scenario.print_debug_rounds()):
+            quiet_execute(connection, scenario.instrumented_create_sql(round_index))
+            quiet_execute(connection, scenario.debug_query)
+        connection.close()
+
+    def test_fix_applied_to_generated_source(self, scenario, server, tmp_path):
+        settings = DevUDFSettings(debug_query=scenario.debug_query)
+        plugin = DevUDFPlugin(DevUDFProject(tmp_path / "proj"), settings, server=server)
+        plugin.import_udfs([scenario.udf_name])
+        source = plugin.project.udf_source(scenario.udf_name)
+        fixed = scenario.apply_fix_to_source(source)
+        assert "abs(column[i] - mean)" in fixed
+        assert scenario.debugger_breakpoints(source)
+        plugin.close()
+
+    def test_bug_visible_in_debugger(self, scenario, server, tmp_path):
+        settings = DevUDFSettings(debug_query=scenario.debug_query)
+        plugin = DevUDFPlugin(DevUDFProject(tmp_path / "proj"), settings, server=server)
+        preparation = plugin.prepare_debug(scenario.udf_name)
+        source = plugin.project.udf_source(scenario.udf_name)
+        outcome = DebugSession(
+            preparation.script_path,
+            breakpoints=scenario.debugger_breakpoints(source),
+            watches=scenario.debugger_watches(),
+            working_directory=preparation.script_path.parent,
+        ).run()
+        assert scenario.bug_visible_in_debugger(outcome)
+        plugin.close()
+
+
+class TestScenarioB:
+    @pytest.fixture()
+    def scenario(self, tmp_path) -> ScenarioB:
+        return ScenarioB(tmp_path / "csv", n_files=4, rows_per_file=8)
+
+    @pytest.fixture()
+    def server(self, scenario) -> DatabaseServer:
+        server = DatabaseServer()
+        scenario.setup(server)
+        return server
+
+    def test_debug_query_set_after_setup(self, scenario, server):
+        assert "loadNumbers" in scenario.debug_query
+        assert str(scenario.workload.directory) in scenario.debug_query
+
+    def test_buggy_loader_detected_as_incorrect(self, scenario, server):
+        connection = Connection.connect_in_process(server)
+        rows = connection.execute(scenario.debug_query).fetchall()
+        assert not scenario.is_correct(rows)
+        assert len(rows) == scenario.workload.rows_excluding_last_file
+        connection.close()
+
+    def test_fix_sql_produces_correct_result(self, scenario, server):
+        connection = Connection.connect_in_process(server)
+        connection.execute(scenario.fixed_create_sql())
+        rows = connection.execute(scenario.debug_query).fetchall()
+        assert scenario.is_correct(rows)
+        connection.close()
+
+    def test_bug_visible_in_debugger(self, scenario, server, tmp_path):
+        settings = DevUDFSettings(debug_query=scenario.debug_query)
+        plugin = DevUDFPlugin(DevUDFProject(tmp_path / "proj"), settings, server=server)
+        preparation = plugin.prepare_debug(scenario.udf_name)
+        source = plugin.project.udf_source(scenario.udf_name)
+        outcome = DebugSession(
+            preparation.script_path,
+            breakpoints=scenario.debugger_breakpoints(source),
+            watches=scenario.debugger_watches(),
+            working_directory=preparation.script_path.parent,
+        ).run()
+        assert scenario.bug_visible_in_debugger(outcome)
+        plugin.close()
+
+    def test_mean_deviation_registered_correct_in_scenario_b(self, scenario, server):
+        """Scenario B uses the *correct* UDF; only the loader is buggy."""
+        connection = Connection.connect_in_process(server)
+        value = connection.execute(
+            f"SELECT mean_deviation(i) FROM loadNumbers('{scenario.workload.directory}')"
+        ).scalar()
+        # correct UDF over incomplete data: close to, but not equal to, the reference
+        assert value == pytest.approx(
+            scenario.workload.mean_deviation_excluding_last_file())
+        connection.close()
