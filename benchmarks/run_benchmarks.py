@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Engine micro-benchmark entry point: emits a machine-readable BENCH_sqldb.json.
+
+Measures rows/sec for the four operator hot paths — scan, filter, equi-join,
+and GROUP BY — at 10k and 100k rows (joins also at the 2,000 x 2,000 shape the
+vectorisation PR used as its before/after evidence), so successive PRs have a
+perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output BENCH_sqldb.json]
+
+The seed (pre-vectorisation) baselines recorded in the output were measured
+on the same workload shapes with the nested-loop/per-group engine at the
+commit tagged ``v0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.sqldb.database import Database
+
+ROW_COUNTS = [10_000, 100_000]
+JOIN_SIDE_ROWS = 2_000
+GROUP_COUNT = 500
+
+#: Milliseconds measured for the same workloads on the seed engine (v0),
+#: kept here so the report can state the speedup without re-running the
+#: (extremely slow) nested-loop join.
+SEED_BASELINE_MS = {
+    "scan_100000": 6.2,
+    "filter_100000": 28.2,
+    "group_by_100000": 84.6,
+    "join_2000": 32080.5,
+}
+
+
+def build_database() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE big (k INTEGER, v DOUBLE)")
+    table = database.storage.table("big")
+    rng = random.Random(7)
+    for index in range(max(ROW_COUNTS)):
+        table.insert_row([index % GROUP_COUNT, rng.random()])
+    for rows in ROW_COUNTS:
+        database.execute(
+            f"CREATE TABLE big_{rows} AS SELECT k, v FROM big LIMIT {rows}")
+
+    for rows in [JOIN_SIDE_ROWS] + ROW_COUNTS:
+        database.execute(f"CREATE TABLE join_l_{rows} (id INTEGER, x DOUBLE)")
+        database.execute(f"CREATE TABLE join_r_{rows} (id INTEGER, y DOUBLE)")
+        left = database.storage.table(f"join_l_{rows}")
+        right = database.storage.table(f"join_r_{rows}")
+        left.column("id").extend(range(rows))
+        left.column("x").extend(index * 0.5 for index in range(rows))
+        right.column("id").extend(range(rows))
+        right.column("y").extend(index * 0.25 for index in range(rows))
+    return database
+
+
+def timed(database: Database, sql: str, *, repeat: int = 5) -> tuple[float, int]:
+    """Median wall-clock seconds per execution plus the result row count."""
+    database.execute(sql)  # warm the storage layer's array caches
+    samples = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = database.execute(sql)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2], result.row_count
+
+
+def run() -> dict:
+    database = build_database()
+    results: dict[str, dict] = {}
+
+    def record(name: str, sql: str, input_rows: int) -> None:
+        seconds, out_rows = timed(database, sql)
+        entry = {
+            "sql": sql,
+            "input_rows": input_rows,
+            "output_rows": out_rows,
+            "seconds": round(seconds, 6),
+            "rows_per_sec": round(input_rows / seconds) if seconds > 0 else None,
+        }
+        baseline = SEED_BASELINE_MS.get(name)
+        if baseline is not None:
+            entry["seed_baseline_ms"] = baseline
+            entry["speedup_vs_seed"] = round(baseline / (seconds * 1000), 1)
+        results[name] = entry
+
+    for rows in ROW_COUNTS:
+        record(f"scan_{rows}", f"SELECT k, v FROM big_{rows}", rows)
+        record(f"filter_{rows}", f"SELECT v FROM big_{rows} WHERE v > 0.5", rows)
+        record(f"group_by_{rows}",
+               f"SELECT k, COUNT(*), SUM(v), AVG(v) FROM big_{rows} GROUP BY k",
+               rows)
+        record(f"join_{rows}",
+               f"SELECT l.id, r.y FROM join_l_{rows} l JOIN join_r_{rows} r "
+               f"ON l.id = r.id", rows)
+    record(f"join_{JOIN_SIDE_ROWS}",
+           f"SELECT l.id, r.y FROM join_l_{JOIN_SIDE_ROWS} l "
+           f"JOIN join_r_{JOIN_SIDE_ROWS} r ON l.id = r.id",
+           JOIN_SIDE_ROWS)
+
+    return {
+        "suite": "sqldb-vectorized-engine",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "row_counts": ROW_COUNTS,
+        "group_count": GROUP_COUNT,
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_sqldb.json",
+                        help="path of the JSON report (default: BENCH_sqldb.json)")
+    args = parser.parse_args()
+    report = run()
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    for name, entry in report["results"].items():
+        speedup = entry.get("speedup_vs_seed")
+        suffix = f"  ({speedup}x vs seed)" if speedup else ""
+        print(f"  {name:>16}: {entry['seconds'] * 1000:8.2f} ms  "
+              f"{entry['rows_per_sec']:>12,} rows/sec{suffix}")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,13 +57,19 @@ class ProcessingModelSimulator:
     # ------------------------------------------------------------------ #
     def run_operator_at_a_time(self, udf_name: str, table: str,
                                columns: Sequence[str]) -> ProcessingModelResult:
-        """One invocation with whole numpy columns, as MonetDB does."""
+        """One invocation with whole numpy columns, as MonetDB does.
+
+        The columns are taken from the storage layer's cached numpy
+        materialisation, so repeated runs are a zero-copy handoff rather than
+        a fresh list-to-array conversion per call.
+        """
         signature = self._signature(udf_name)
         self._check_arity(signature, columns)
-        inputs = self._input_columns(table, columns)
-        rows = len(inputs[0]) if inputs else 0
-        arrays = [column_to_numpy(col, self._column_type(table, name))
-                  for col, name in zip(inputs, columns)]
+        stored = self.database.storage.table(table)
+        rows = stored.row_count
+        # views, not the cache arrays themselves: a view of the read-only
+        # cache cannot be flipped writable, so the shared cache stays intact
+        arrays = [stored.column(name).to_numpy().view() for name in columns]
         before = self.database.udf_runtime.invocation_counts.get(udf_name.lower(), 0)
         start = time.perf_counter()
         raw = self.database.udf_runtime.invoke(signature, arrays)

@@ -1,11 +1,21 @@
-"""Aggregate functions for GROUP BY / implicit aggregation queries."""
+"""Aggregate functions for GROUP BY / implicit aggregation queries.
+
+Two execution tiers live here: the original per-value Python implementations
+(exact SQL NULL semantics, used for object columns and exotic aggregates) and
+numpy kernels used when the input is a NULL-free typed array — whole-column
+reductions for implicit aggregation and ``reduceat``-based grouped reductions
+for single-pass hash aggregation.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..errors import ExecutionError
+from .types import python_value
 
 AggregateFunction = Callable[[Sequence[Any]], Any]
 
@@ -94,12 +104,54 @@ def is_aggregate(name: str) -> bool:
     return name.upper() in AGGREGATE_FUNCTIONS
 
 
+#: Aggregates with a numpy whole-column / grouped kernel.  MEDIAN and the
+#: variance family stay on the Python tier: their SQL definitions (sample
+#: variance, integer-preserving odd-count median) differ from numpy defaults.
+VECTOR_AGGREGATES = frozenset({"SUM", "AVG", "MIN", "MAX", "COUNT"})
+
+
+def _int_sum_may_overflow(upper: str, values: np.ndarray) -> bool:
+    """Whether an integer SUM could exceed int64 (numpy would silently wrap).
+
+    Conservative magnitude-times-count bound in exact Python arithmetic; when
+    it trips, the caller uses the Python tier, whose ints are unbounded.
+    """
+    if upper != "SUM" or values.dtype.kind not in "iu" or values.size == 0:
+        return False
+    largest = max(abs(int(np.max(values))), abs(int(np.min(values))))
+    return largest * int(values.size) >= 2 ** 63
+
+
+def _whole_column_vector(upper: str, values: np.ndarray) -> Any:
+    if upper == "COUNT":
+        return int(values.size)
+    if values.dtype == np.bool_ and upper in ("SUM", "AVG"):
+        values = values.astype(np.int64)
+    if upper == "SUM":
+        return np.sum(values).item()
+    if upper == "AVG":
+        return float(np.mean(values))
+    if upper == "MIN":
+        return np.min(values).item()
+    return np.max(values).item()
+
+
 def call_aggregate(name: str, values: Sequence[Any], *, is_star: bool = False,
                    distinct: bool = False) -> Any:
-    """Evaluate an aggregate over the per-row values of its argument."""
+    """Evaluate an aggregate over the per-row values of its argument.
+
+    ``values`` may be a list or a numpy array; NULL-free typed arrays are
+    reduced with numpy, everything else by the per-value implementations.
+    """
     upper = name.upper()
     if upper not in AGGREGATE_FUNCTIONS:
         raise ExecutionError(f"unknown aggregate {name!r}")
+    if isinstance(values, np.ndarray):
+        if (not distinct and values.dtype != object and values.size > 0
+                and upper in VECTOR_AGGREGATES
+                and not _int_sum_may_overflow(upper, values)):
+            return _whole_column_vector(upper, values)
+        values = values.tolist()
     if distinct:
         seen: list[Any] = []
         for value in values:
@@ -108,4 +160,123 @@ def call_aggregate(name: str, values: Sequence[Any], *, is_star: bool = False,
         values = seen
     if upper == "COUNT" and is_star:
         return _agg_count_star(values)
-    return AGGREGATE_FUNCTIONS[upper](values)
+    return python_value(AGGREGATE_FUNCTIONS[upper](values))
+
+
+# --------------------------------------------------------------------------- #
+# grouped (hash aggregation) kernels
+# --------------------------------------------------------------------------- #
+class GroupLayout:
+    """Row-to-group assignment plus sort-based group geometry.
+
+    ``gids`` assigns every batch row a group id in [0, n_groups), numbered in
+    first-appearance order.  ``order``/``starts`` describe the rows permuted
+    so that each group (cluster) is contiguous — in *any* cluster order — so
+    ``ufunc.reduceat`` can reduce every group in one pass; ``out_perm`` maps
+    cluster position to output group id (None means they already coincide).
+    Factorisers that derive the geometry from a single key sort can pass it
+    in; otherwise it is derived lazily from ``gids``.
+    """
+
+    def __init__(self, gids: np.ndarray, n_groups: int, *,
+                 order: np.ndarray | None = None,
+                 starts: np.ndarray | None = None,
+                 out_perm: np.ndarray | None = None) -> None:
+        self.gids = np.asarray(gids, dtype=np.int64)
+        self.n_groups = n_groups
+        self.size = int(self.gids.size)
+        self._order = order
+        self._starts = starts
+        self.out_perm = out_perm
+        self._cluster_counts: np.ndarray | None = None
+        self._group_rows: list[np.ndarray] | None = None
+
+    @property
+    def order(self) -> np.ndarray:
+        if self._order is None:
+            self._order = np.argsort(self.gids, kind="stable")
+        return self._order
+
+    @property
+    def starts(self) -> np.ndarray:
+        if self._starts is None:
+            self._starts = np.searchsorted(self.gids[self.order],
+                                           np.arange(self.n_groups))
+        return self._starts
+
+    @property
+    def cluster_counts(self) -> np.ndarray:
+        if self._cluster_counts is None:
+            self._cluster_counts = np.diff(self.starts, append=self.size)
+        return self._cluster_counts
+
+    def to_group_order(self, per_cluster: np.ndarray) -> np.ndarray:
+        """Rearrange a per-cluster result into output group-id order."""
+        if self.out_perm is None:
+            return per_cluster
+        out = np.empty_like(per_cluster)
+        out[self.out_perm] = per_cluster
+        return out
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Group sizes in output group order."""
+        return self.to_group_order(self.cluster_counts)
+
+    @property
+    def group_rows(self) -> list[np.ndarray]:
+        """Per-group row indices, in output group order."""
+        if self._group_rows is None:
+            clusters = np.split(self.order, self.starts[1:])
+            if self.out_perm is None:
+                self._group_rows = clusters
+            else:
+                rows: list[np.ndarray] = [None] * self.n_groups  # type: ignore[list-item]
+                for position, rows_in_cluster in zip(self.out_perm, clusters):
+                    rows[position] = rows_in_cluster
+                self._group_rows = rows
+        return self._group_rows
+
+
+def _grouped_vector(upper: str, values: np.ndarray, layout: GroupLayout) -> list[Any]:
+    if upper == "COUNT":
+        return layout.counts.tolist()
+    sorted_values = values[layout.order]
+    if sorted_values.dtype == np.bool_ and upper in ("SUM", "AVG"):
+        sorted_values = sorted_values.astype(np.int64)
+    if upper == "SUM":
+        per_cluster = np.add.reduceat(sorted_values, layout.starts)
+    elif upper == "AVG":
+        sums = np.add.reduceat(sorted_values.astype(np.float64), layout.starts)
+        per_cluster = sums / layout.cluster_counts
+    elif upper == "MIN":
+        per_cluster = np.minimum.reduceat(sorted_values, layout.starts)
+    else:
+        per_cluster = np.maximum.reduceat(sorted_values, layout.starts)
+    return layout.to_group_order(per_cluster).tolist()
+
+
+def grouped_aggregate(name: str, values: Sequence[Any], layout: GroupLayout, *,
+                      is_star: bool = False, distinct: bool = False) -> list[Any]:
+    """Per-group aggregate results, in group order (one entry per group).
+
+    ``values`` is the row-aligned argument column.  NULL-free typed arrays
+    with a vectorisable aggregate are reduced in one ``reduceat`` pass; all
+    other cases delegate to :func:`call_aggregate` per group, which keeps the
+    results bit-identical to the per-group execution path.
+    """
+    upper = name.upper()
+    if upper not in AGGREGATE_FUNCTIONS:
+        raise ExecutionError(f"unknown aggregate {name!r}")
+    if upper == "COUNT" and is_star and not distinct:
+        return layout.counts.tolist()
+    if (not distinct and layout.size > 0 and upper in VECTOR_AGGREGATES
+            and isinstance(values, np.ndarray) and values.dtype != object
+            and not _int_sum_may_overflow(upper, values)):
+        return _grouped_vector(upper, values, layout)
+    value_list = values.tolist() if isinstance(values, np.ndarray) else list(values)
+    return [
+        call_aggregate(name, [value_list[i] for i in rows],
+                       is_star=is_star, distinct=distinct)
+        for rows in layout.group_rows
+    ]

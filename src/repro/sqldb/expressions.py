@@ -1,23 +1,30 @@
 """Vectorised (column-at-a-time) expression evaluation.
 
 The evaluator works on a :class:`Batch` — the columnar intermediate produced
-by the FROM clause — and returns one value list per expression.  Scalar Python
-UDFs referenced in expressions are invoked **once per operator call** with
-whole columns, which is the MonetDB operator-at-a-time behaviour the paper's
-§2.4 contrasts with tuple-at-a-time engines.
+by the FROM clause — and returns one value column per expression.  Batch
+columns may be backed either by plain Python lists or by shared numpy arrays
+(the zero-copy scan format produced by the storage layer); comparison,
+arithmetic and logical operators run as whole-array numpy kernels whenever
+both operands are NULL-free numeric arrays, falling back to the per-element
+interpreter for object columns so SQL NULL semantics are preserved exactly.
+Scalar Python UDFs referenced in expressions are invoked **once per operator
+call** with whole columns, which is the MonetDB operator-at-a-time behaviour
+the paper's §2.4 contrasts with tuple-at-a-time engines.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+import numpy as np
 
 from ..errors import ExecutionError
 from . import ast_nodes as ast
 from .aggregates import call_aggregate, is_aggregate
 from .functions import call_builtin_scalar, is_builtin_scalar
-from .types import SQLType, infer_sql_type
+from .types import SQLType, infer_sql_type, python_value
 from .udf import columns_to_udf_args, convert_scalar_result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,19 +32,62 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 # --------------------------------------------------------------------------- #
+# value-sequence helpers (lists and numpy arrays are both valid column data)
+# --------------------------------------------------------------------------- #
+def as_value_list(values: Any) -> list[Any]:
+    """A plain Python list of Python values.
+
+    ``ndarray.tolist`` already yields Python scalars; list inputs are
+    sanitised element-wise because per-element fallback paths (CASE over a
+    vector column, builtins over array arguments) can leave numpy scalars
+    behind.
+    """
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return [python_value(value) for value in values]
+
+
+def is_vector(values: Any) -> bool:
+    """True for numpy-array-backed column data with a computable dtype."""
+    return isinstance(values, np.ndarray) and values.dtype != object
+
+
+def _python_elements(values: Any) -> Any:
+    """Detach a typed array into Python values for per-element evaluation;
+    lists and object arrays already hold Python objects and pass through."""
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return values.tolist()
+    return values
+
+
+def take_values(values: Any, indices: Any) -> Any:
+    """Gather ``values`` at ``indices`` (fancy indexing for arrays)."""
+    if isinstance(values, np.ndarray):
+        return values[np.asarray(indices, dtype=np.intp)]
+    return [values[index] for index in indices]
+
+
+# --------------------------------------------------------------------------- #
 # Batch: the columnar intermediate
 # --------------------------------------------------------------------------- #
 @dataclass
 class BatchColumn:
-    """One column inside a batch, qualified by its source table alias."""
+    """One column inside a batch, qualified by its source table alias.
+
+    ``values`` is either a Python list or a (possibly shared, treat-as-
+    read-only) numpy array produced by the storage layer's cached scan.
+    """
 
     table: str | None
     name: str
     sql_type: SQLType
-    values: list[Any] = field(default_factory=list)
+    values: Any = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
+
+    def value_list(self) -> list[Any]:
+        return as_value_list(self.values)
 
 
 class Batch:
@@ -71,18 +121,22 @@ class Batch:
         self.columns.append(column)
 
     # -- name resolution -------------------------------------------------- #
-    def resolve(self, name: str, table: str | None = None) -> BatchColumn:
+    def matching_columns(self, name: str, table: str | None = None) -> list[BatchColumn]:
+        """All columns matching a (possibly qualified) name, case-insensitively."""
         lowered = name.lower()
         table_lowered = table.lower() if table else None
-        matches = [
+        return [
             column for column in self.columns
             if column.name.lower() == lowered
             and (table_lowered is None or (column.table or "").lower() == table_lowered)
         ]
+
+    def resolve(self, name: str, table: str | None = None) -> BatchColumn:
+        matches = self.matching_columns(name, table)
         if not matches:
             qualifier = f"{table}." if table else ""
             raise ExecutionError(f"unknown column {qualifier}{name!r}")
-        if len(matches) > 1 and table_lowered is None:
+        if len(matches) > 1 and table is None:
             tables = sorted({column.table or "?" for column in matches})
             raise ExecutionError(f"ambiguous column {name!r} (found in {tables})")
         return matches[0]
@@ -99,13 +153,17 @@ class Batch:
     # -- row operations --------------------------------------------------- #
     def take(self, indices: Sequence[int]) -> "Batch":
         columns = [
-            BatchColumn(c.table, c.name, c.sql_type, [c.values[i] for i in indices])
+            BatchColumn(c.table, c.name, c.sql_type, take_values(c.values, indices))
             for c in self.columns
         ]
         return Batch(columns, row_count=len(indices))
 
     def filter(self, mask: Sequence[Any]) -> "Batch":
-        indices = [index for index, keep in enumerate(mask) if keep is True or keep == 1]
+        if isinstance(mask, np.ndarray):
+            indices: Sequence[int] = np.flatnonzero(mask)
+        else:
+            indices = [index for index, keep in enumerate(mask)
+                       if keep is True or keep == 1]
         return self.take(indices)
 
     def row(self, index: int) -> tuple[Any, ...]:
@@ -117,23 +175,31 @@ class Batch:
 # --------------------------------------------------------------------------- #
 @dataclass
 class EvalResult:
-    """The outcome of evaluating one expression over a batch."""
+    """The outcome of evaluating one expression over a batch.
 
-    values: list[Any]
+    ``values`` is either a Python list or a numpy array (vectorised path).
+    """
+
+    values: Any
     constant: bool = False
     sql_type: SQLType | None = None
 
     def __len__(self) -> int:
         return len(self.values)
 
-    def broadcast(self, length: int) -> list[Any]:
+    def broadcast(self, length: int) -> Any:
         if len(self.values) == length:
             return self.values
         if len(self.values) == 1:
+            if isinstance(self.values, np.ndarray):
+                return np.repeat(self.values, length)
             return self.values * length
         raise ExecutionError(
             f"cannot broadcast column of length {len(self.values)} to {length}"
         )
+
+    def value_list(self) -> list[Any]:
+        return as_value_list(self.values)
 
 
 def _like_to_regex(pattern: str) -> re.Pattern[str]:
@@ -143,6 +209,32 @@ def _like_to_regex(pattern: str) -> re.Pattern[str]:
     escaped = escaped.replace(r"\%", "%").replace(r"\_", "_")
     escaped = escaped.replace("%", ".*").replace("_", ".")
     return re.compile(f"^{escaped}$", re.DOTALL)
+
+
+def _int_magnitude(operand: Any) -> int | None:
+    """Largest absolute value of an integer operand; None if not integral."""
+    if isinstance(operand, np.ndarray):
+        if operand.dtype.kind not in "iu":
+            return None
+        if operand.size == 0:
+            return 0
+        return max(abs(int(np.max(operand))), abs(int(np.min(operand))))
+    if isinstance(operand, int):
+        return abs(operand)
+    return None
+
+
+def _int_arith_may_overflow(op: str, left: Any, right: Any) -> bool:
+    """Whether +, - or * on integer operands could exceed int64 and wrap."""
+    if op not in ("+", "-", "*"):
+        return False
+    left_mag = _int_magnitude(left)
+    right_mag = _int_magnitude(right)
+    if left_mag is None or right_mag is None:
+        return False  # a float operand promotes to float64, which saturates
+    if op == "*":
+        return left_mag * right_mag >= 2 ** 63
+    return left_mag + right_mag >= 2 ** 63
 
 
 def _numeric_result_type(left: SQLType | None, right: SQLType | None, op: str) -> SQLType:
@@ -175,11 +267,20 @@ class ExpressionEvaluator:
             )
         return method(expression)
 
-    def evaluate_mask(self, expression: ast.Expression) -> list[bool]:
-        """Evaluate a predicate and return a boolean mask over the batch rows."""
+    def evaluate_mask(self, expression: ast.Expression) -> Sequence[bool]:
+        """Evaluate a predicate and return a boolean mask over the batch rows.
+
+        Array-backed predicates yield a numpy bool array (NULL is impossible
+        there); list-backed predicates yield a Python list with SQL's
+        NULL-is-not-true semantics applied.
+        """
         result = self.evaluate(expression)
         values = result.broadcast(self.batch.row_count)
-        return [value is True or value == 1 for value in values]
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            if values.dtype == np.bool_:
+                return values
+            return values == 1
+        return [value is True or value == 1 for value in as_value_list(values)]
 
     def contains_aggregate(self, expression: ast.Expression) -> bool:
         return expression_contains_aggregate(expression)
@@ -193,7 +294,9 @@ class ExpressionEvaluator:
 
     def _eval_ColumnRef(self, node: ast.ColumnRef) -> EvalResult:
         column = self.batch.resolve(node.name, node.table)
-        return EvalResult(list(column.values), constant=False, sql_type=column.sql_type)
+        # Share the column data (array or list) instead of copying; downstream
+        # consumers never mutate evaluation results in place.
+        return EvalResult(column.values, constant=False, sql_type=column.sql_type)
 
     def _eval_Star(self, node: ast.Star) -> EvalResult:
         raise ExecutionError("'*' is only valid inside COUNT(*) or a select list")
@@ -204,9 +307,16 @@ class ExpressionEvaluator:
     def _eval_UnaryOp(self, node: ast.UnaryOp) -> EvalResult:
         operand = self.evaluate(node.operand)
         if node.op == "-":
-            values = [None if v is None else -v for v in operand.values]
+            if is_vector(operand.values) and operand.values.dtype != np.bool_ \
+                    and not _int_arith_may_overflow("-", 0, operand.values):
+                return EvalResult(-operand.values, operand.constant, operand.sql_type)
+            values = [None if v is None else -v
+                      for v in _python_elements(operand.values)]
             return EvalResult(values, operand.constant, operand.sql_type)
         if node.op == "NOT":
+            if is_vector(operand.values):
+                return EvalResult(~operand.values.astype(np.bool_),
+                                  operand.constant, SQLType.BOOLEAN)
             values = [None if v is None else (not bool(v)) for v in operand.values]
             return EvalResult(values, operand.constant, SQLType.BOOLEAN)
         raise ExecutionError(f"unsupported unary operator {node.op!r}")
@@ -215,12 +325,19 @@ class ExpressionEvaluator:
         op = node.op.upper()
         left = self.evaluate(node.left)
         right = self.evaluate(node.right)
+        constant = left.constant and right.constant
+
+        fast = self._vector_binary(op, left, right, constant)
+        if fast is not None:
+            return fast
+
         length = max(len(left), len(right))
         if not left.constant or not right.constant:
             length = max(length, 1)
-        left_values = left.broadcast(length)
-        right_values = right.broadcast(length)
-        constant = left.constant and right.constant
+        # per-element tier: operate on Python values, never numpy scalars —
+        # Python ints are unbounded where int64 elements would silently wrap
+        left_values = _python_elements(left.broadcast(length))
+        right_values = _python_elements(right.broadcast(length))
 
         if op in ("AND", "OR"):
             values = [self._logical(op, l, r) for l, r in zip(left_values, right_values)]
@@ -239,6 +356,73 @@ class ExpressionEvaluator:
             sql_type = _numeric_result_type(left.sql_type, right.sql_type, op)
             return EvalResult(values, constant, sql_type)
         raise ExecutionError(f"unsupported binary operator {node.op!r}")
+
+    _COMPARE_UFUNCS = {
+        "=": np.equal, "<>": np.not_equal, "<": np.less,
+        "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+    }
+    _ARITH_UFUNCS = {
+        "+": np.add, "-": np.subtract, "*": np.multiply,
+        "/": np.true_divide, "%": np.mod,
+    }
+
+    def _vector_binary(self, op: str, left: EvalResult, right: EvalResult,
+                       constant: bool) -> EvalResult | None:
+        """Whole-array kernel for NULL-free numeric operands; None = fall back."""
+        left_operand = self._vector_operand(left)
+        right_operand = self._vector_operand(right)
+        if left_operand is None or right_operand is None:
+            return None
+        if not (isinstance(left_operand, np.ndarray)
+                or isinstance(right_operand, np.ndarray)):
+            return None  # two scalar constants: the generic path is cheap
+
+        if op in self._COMPARE_UFUNCS:
+            values = self._COMPARE_UFUNCS[op](left_operand, right_operand)
+            return EvalResult(np.asarray(values), constant, SQLType.BOOLEAN)
+        if op in ("AND", "OR"):
+            lb = self._as_bool_array(left_operand)
+            rb = self._as_bool_array(right_operand)
+            combine = np.logical_and if op == "AND" else np.logical_or
+            return EvalResult(np.asarray(combine(lb, rb)), constant, SQLType.BOOLEAN)
+        if op in self._ARITH_UFUNCS:
+            left_num = self._as_numeric_array(left_operand)
+            right_num = self._as_numeric_array(right_operand)
+            if op in ("/", "%") and np.any(right_num == 0):
+                raise ExecutionError(
+                    "division by zero" if op == "/" else "modulo by zero")
+            if _int_arith_may_overflow(op, left_num, right_num):
+                return None  # Python ints are unbounded; int64 would wrap
+            values = self._ARITH_UFUNCS[op](left_num, right_num)
+            sql_type = _numeric_result_type(left.sql_type, right.sql_type, op)
+            return EvalResult(np.asarray(values), constant, sql_type)
+        return None  # e.g. '||' — string columns never reach the vector path
+
+    @staticmethod
+    def _vector_operand(result: EvalResult) -> Any | None:
+        """An ndarray or numeric scalar usable in a numpy kernel, else None."""
+        if is_vector(result.values):
+            return result.values
+        if result.constant and len(result.values) == 1:
+            value = result.values[0]
+            if isinstance(value, bool) or isinstance(value, (int, float)):
+                return value
+        return None
+
+    @staticmethod
+    def _as_bool_array(operand: Any) -> Any:
+        if isinstance(operand, np.ndarray):
+            return operand if operand.dtype == np.bool_ else operand.astype(np.bool_)
+        return bool(operand)
+
+    @staticmethod
+    def _as_numeric_array(operand: Any) -> Any:
+        # bool + bool must be 0/1 arithmetic (Python semantics), not logical OR
+        if isinstance(operand, np.ndarray) and operand.dtype == np.bool_:
+            return operand.astype(np.int64)
+        if isinstance(operand, bool):
+            return int(operand)
+        return operand
 
     @staticmethod
     def _logical(op: str, left: Any, right: Any) -> Any:
@@ -303,12 +487,26 @@ class ExpressionEvaluator:
     # ------------------------------------------------------------------ #
     def _eval_IsNull(self, node: ast.IsNull) -> EvalResult:
         operand = self.evaluate(node.operand)
+        if is_vector(operand.values):
+            # a non-object array cannot contain NULLs
+            values = np.full(len(operand.values), node.negated, dtype=np.bool_)
+            return EvalResult(values, operand.constant, SQLType.BOOLEAN)
         values = [(v is None) != node.negated for v in operand.values]
         return EvalResult(values, operand.constant, SQLType.BOOLEAN)
 
     def _eval_InList(self, node: ast.InList) -> EvalResult:
         operand = self.evaluate(node.operand)
         item_results = [self.evaluate(item) for item in node.items]
+        if is_vector(operand.values) and all(
+            result.constant and len(result.values) == 1
+            and result.values[0] is not None
+            and isinstance(result.values[0], (bool, int, float))
+            for result in item_results
+        ):
+            members = [result.values[0] for result in item_results]
+            found = np.isin(operand.values, members)
+            return EvalResult(found != node.negated, constant=False,
+                              sql_type=SQLType.BOOLEAN)
         length = max([len(operand)] + [len(r) for r in item_results])
         operand_values = operand.broadcast(length)
         item_columns = [r.broadcast(length) for r in item_results]
@@ -327,6 +525,13 @@ class ExpressionEvaluator:
         operand = self.evaluate(node.operand)
         lower = self.evaluate(node.lower)
         upper = self.evaluate(node.upper)
+        vector_args = [self._vector_operand(r) for r in (operand, lower, upper)]
+        if all(arg is not None for arg in vector_args) and any(
+                isinstance(arg, np.ndarray) for arg in vector_args):
+            value_arr, low_arr, high_arr = vector_args
+            inside = np.logical_and(low_arr <= value_arr, value_arr <= high_arr)
+            return EvalResult(np.asarray(inside != node.negated), constant=False,
+                              sql_type=SQLType.BOOLEAN)
         length = max(len(operand), len(lower), len(upper))
         ov = operand.broadcast(length)
         lv = lower.broadcast(length)
@@ -384,6 +589,10 @@ class ExpressionEvaluator:
         from .types import coerce_value
 
         operand = self.evaluate(node.operand)
+        if is_vector(operand.values) and node.target_type.is_floating \
+                and operand.values.dtype.kind in "bif":
+            return EvalResult(operand.values.astype(np.float64),
+                              operand.constant, node.target_type)
         values = [coerce_value(value, node.target_type) for value in operand.values]
         return EvalResult(values, operand.constant, node.target_type)
 
@@ -455,7 +664,7 @@ class ExpressionEvaluator:
         else:
             arg = self.evaluate(node.args[0])
             values = arg.broadcast(self.batch.row_count)
-        result = call_aggregate(node.name, list(values), is_star=is_star,
+        result = call_aggregate(node.name, values, is_star=is_star,
                                 distinct=node.distinct)
         return EvalResult([result], constant=True)
 
@@ -495,32 +704,44 @@ class ExpressionEvaluator:
 # --------------------------------------------------------------------------- #
 # helpers used by the executor
 # --------------------------------------------------------------------------- #
+def child_expressions(expression: ast.Expression) -> "Iterator[ast.Expression]":
+    """The direct sub-expressions of a node (the one canonical AST walk;
+    subqueries are deliberately opaque, matching historical behaviour)."""
+    if isinstance(expression, ast.FunctionCall):
+        yield from expression.args
+    elif isinstance(expression, ast.BinaryOp):
+        yield expression.left
+        yield expression.right
+    elif isinstance(expression, ast.UnaryOp):
+        yield expression.operand
+    elif isinstance(expression, ast.CaseExpression):
+        for condition, value in expression.whens:
+            yield condition
+            yield value
+        if expression.default is not None:
+            yield expression.default
+    elif isinstance(expression, ast.InList):
+        yield expression.operand
+        yield from expression.items
+    elif isinstance(expression, ast.Between):
+        yield expression.operand
+        yield expression.lower
+        yield expression.upper
+    elif isinstance(expression, (ast.IsNull, ast.Like, ast.Cast)):
+        yield expression.operand
+
+
+def iter_function_calls(expression: ast.Expression) -> "Iterator[ast.FunctionCall]":
+    """Every function call in the tree, including aggregate arguments."""
+    if isinstance(expression, ast.FunctionCall):
+        yield expression
+    for child in child_expressions(expression):
+        yield from iter_function_calls(child)
+
+
 def expression_contains_aggregate(expression: ast.Expression) -> bool:
     """True when the expression tree contains an aggregate function call."""
-    if isinstance(expression, ast.FunctionCall):
-        if is_aggregate(expression.name):
-            return True
-        return any(expression_contains_aggregate(arg) for arg in expression.args)
-    if isinstance(expression, ast.BinaryOp):
-        return (expression_contains_aggregate(expression.left)
-                or expression_contains_aggregate(expression.right))
-    if isinstance(expression, ast.UnaryOp):
-        return expression_contains_aggregate(expression.operand)
-    if isinstance(expression, ast.CaseExpression):
-        for cond, result in expression.whens:
-            if expression_contains_aggregate(cond) or expression_contains_aggregate(result):
-                return True
-        return expression.default is not None and expression_contains_aggregate(expression.default)
-    if isinstance(expression, (ast.InList,)):
-        return expression_contains_aggregate(expression.operand) or any(
-            expression_contains_aggregate(item) for item in expression.items
-        )
-    if isinstance(expression, ast.Between):
-        return any(expression_contains_aggregate(e)
-                   for e in (expression.operand, expression.lower, expression.upper))
-    if isinstance(expression, (ast.IsNull, ast.Like, ast.Cast)):
-        return expression_contains_aggregate(expression.operand)
-    return False
+    return any(is_aggregate(call.name) for call in iter_function_calls(expression))
 
 
 def default_output_name(expression: ast.Expression, index: int) -> str:

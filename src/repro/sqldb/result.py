@@ -13,11 +13,20 @@ from .types import SQLType, infer_sql_type
 
 @dataclass
 class ResultColumn:
-    """One column of a query result."""
+    """One column of a query result.
+
+    Results always hold plain Python values: arrays flowing out of the
+    vectorised executor are converted at this boundary so consumers (the wire
+    protocol, DB-API rows, rendering) never see numpy scalars.
+    """
 
     name: str
     sql_type: SQLType
     values: list[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.values, np.ndarray):
+            self.values = self.values.tolist()
 
     def to_numpy(self) -> np.ndarray:
         return column_to_numpy(self.values, self.sql_type)

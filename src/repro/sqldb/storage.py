@@ -1,8 +1,10 @@
 """Columnar storage engine.
 
 Tables are stored column-at-a-time (MonetDB's BAT layout, simplified): each
-column is a Python list, NULLs are ``None``.  Columns are converted to numpy
-arrays only at the UDF boundary, mirroring MonetDB/Python's zero-copy handoff.
+column is a Python list, NULLs are ``None``.  Every column additionally keeps
+a cached numpy materialisation with dirty-bit invalidation: scans and UDF
+handoffs reuse the same array until the column is mutated, mirroring
+MonetDB/Python's zero-copy handoff instead of re-converting per query.
 """
 
 from __future__ import annotations
@@ -19,10 +21,12 @@ from .types import NUMPY_DTYPES, SQLType, coerce_value
 
 @dataclass
 class Column:
-    """A single stored column."""
+    """A single stored column with a cached numpy materialisation."""
 
     definition: ColumnDef
     values: list[Any] = field(default_factory=list)
+    _array_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -34,14 +38,31 @@ class Column:
 
     def append(self, value: Any) -> None:
         self.values.append(coerce_value(value, self.sql_type))
+        self._array_cache = None
 
     def extend(self, values: Iterable[Any]) -> None:
-        for value in values:
-            self.append(value)
+        sql_type = self.sql_type
+        self.values.extend(coerce_value(value, sql_type) for value in values)
+        self._array_cache = None
+
+    def mark_dirty(self) -> None:
+        """Invalidate the cached array after an in-place mutation of values."""
+        self._array_cache = None
 
     def to_numpy(self) -> np.ndarray:
-        """Materialise this column as a numpy array (the UDF input format)."""
-        return column_to_numpy(self.values, self.sql_type)
+        """Materialise this column as a numpy array (the UDF input format).
+
+        The array is cached and reused until the column is mutated, so
+        repeated scans and UDF handoffs are near-zero-copy.  Callers must
+        treat the returned array as read-only.
+        """
+        if self._array_cache is None:
+            array = column_to_numpy(self.values, self.sql_type)
+            # the cache is shared across scans and UDF invocations: writing
+            # through it would corrupt stored data, so fail loudly instead
+            array.setflags(write=False)
+            self._array_cache = array
+        return self._array_cache
 
     def __len__(self) -> int:
         return len(self.values)
@@ -114,29 +135,28 @@ class Table:
         """Keep only rows where ``keep_mask`` is True; return rows removed."""
         if len(keep_mask) != self.row_count:
             raise ExecutionError("DELETE mask length mismatch")
-        removed = keep_mask.count(False) if isinstance(keep_mask, list) else int(
-            sum(1 for keep in keep_mask if not keep)
-        )
+        removed = sum(1 for keep in keep_mask if not keep)
         for column in self.columns:
             column.values = [
                 value for value, keep in zip(column.values, keep_mask) if keep
             ]
+            column.mark_dirty()
         return removed
 
     def update_rows(self, mask: Sequence[bool], assignments: dict[str, list[Any]]) -> int:
         """Apply per-row new values for the columns in ``assignments`` where mask is True."""
-        updated = 0
         for col_name, new_values in assignments.items():
             column = self.column(col_name)
             for index, (selected, new_value) in enumerate(zip(mask, new_values)):
                 if selected:
                     column.values[index] = coerce_value(new_value, column.sql_type)
-        updated = sum(1 for selected in mask if selected)
-        return updated
+            column.mark_dirty()
+        return sum(1 for selected in mask if selected)
 
     def truncate(self) -> None:
         for column in self.columns:
             column.values = []
+            column.mark_dirty()
 
     # ------------------------------------------------------------------ #
     # access

@@ -11,6 +11,8 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from ..errors import TypeMismatchError
 
 
@@ -100,6 +102,8 @@ def coerce_value(value: Any, sql_type: SQLType) -> Any:
     """
     if value is None:
         return None
+    if isinstance(value, np.generic):  # numpy scalar leaked from a kernel
+        value = value.item()
     try:
         if sql_type.is_integer:
             if isinstance(value, bool):
@@ -139,8 +143,15 @@ def coerce_value(value: Any, sql_type: SQLType) -> Any:
     raise TypeMismatchError(f"unsupported SQL type {sql_type!r}")
 
 
+def python_value(value: Any) -> Any:
+    """Unwrap a numpy scalar leaked from a vector kernel to its Python value."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
 def infer_sql_type(value: Any) -> SQLType:
     """Infer the narrowest SQL type able to hold a Python ``value``."""
+    if isinstance(value, np.generic):
+        value = value.item()
     if isinstance(value, bool):
         return SQLType.BOOLEAN
     if isinstance(value, int):

@@ -88,11 +88,23 @@ def columns_to_udf_args(
     arg_is_column: Sequence[bool],
     sql_types: Sequence[SQLType],
 ) -> list[Any]:
-    """Convert evaluated argument columns/scalars to the UDF input format."""
+    """Convert evaluated argument columns/scalars to the UDF input format.
+
+    Columns that are already numpy arrays (the cached zero-copy scan format)
+    are handed to the UDF without re-conversion.  All column arguments are
+    read-only, regardless of which execution path produced them: the zero-copy
+    handoff means a write could reach shared engine state, so mutation fails
+    loudly and *consistently* instead of depending on the query shape.
+    """
     converted: list[Any] = []
     for value, is_column, sql_type in zip(arg_values, arg_is_column, sql_types):
         if is_column:
-            converted.append(column_to_numpy(list(value), sql_type))
+            if isinstance(value, np.ndarray):
+                array = value.view()
+            else:
+                array = column_to_numpy(value, sql_type)
+            array.setflags(write=False)
+            converted.append(array)
         else:
             converted.append(value)
     return converted

@@ -76,3 +76,44 @@ class TestValidation:
         assert results_equivalent(a, b)
         assert not results_equivalent(a, c)
         assert not results_equivalent(a, d)
+
+
+class TestVectorisedStorageRegression:
+    """The storage layer's cached-array scan must not change §2.4 results."""
+
+    def test_compare_reports_identical_values_and_invocation_gap(self, simulator):
+        comparison = simulator.compare("scale", "values_table", ["i", "x"])
+        operator = comparison["operator-at-a-time"]
+        per_tuple = comparison["tuple-at-a-time"]
+        assert results_equivalent(operator, per_tuple)
+        assert operator.invocations == 1
+        assert per_tuple.invocations == operator.rows == per_tuple.rows == 20
+        assert per_tuple.invocations_per_row == 1.0
+        assert operator.invocations_per_row == pytest.approx(1 / 20)
+
+    def test_operator_model_reuses_cached_column_arrays(self, db, simulator):
+        simulator.run_operator_at_a_time("scale", "values_table", ["i", "x"])
+        column = db.storage.table("values_table").column("i")
+        cached = column.to_numpy()
+        # a second run must hand the UDF the same cached array object
+        assert column.to_numpy() is cached
+        result = simulator.run_operator_at_a_time("scale", "values_table", ["i", "x"])
+        assert column.to_numpy() is cached
+        assert result.invocations == 1
+
+    def test_mutation_between_runs_is_visible(self, db, simulator):
+        before = simulator.run_operator_at_a_time("scale", "values_table", ["i", "x"])
+        db.execute("UPDATE values_table SET x = x + 1.0 WHERE i = 0")
+        after = simulator.run_operator_at_a_time("scale", "values_table", ["i", "x"])
+        assert before.values[1:] == after.values[1:]
+        assert before.values[0] == after.values[0]  # i = 0 masks the change
+        assert db.execute("SELECT x FROM values_table WHERE i = 0").scalar() == 1.0
+
+    def test_udf_cannot_unlock_the_shared_cache(self, db, simulator):
+        """setflags(write=True) inside a UDF must not reach the cache array."""
+        db.execute("CREATE FUNCTION unlock(i INTEGER) RETURNS INTEGER LANGUAGE "
+                   "PYTHON { i.setflags(write=True); i[0] = 999; return i }")
+        from repro.errors import UDFError
+        with pytest.raises(UDFError):
+            simulator.run_operator_at_a_time("unlock", "values_table", ["i"])
+        assert db.execute("SELECT MIN(i) FROM values_table").scalar() == 0
