@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Engine micro-benchmark entry point: emits a machine-readable BENCH_sqldb.json.
+"""Micro-benchmark entry point: emits machine-readable BENCH_*.json reports.
 
-Measures rows/sec for the four operator hot paths — scan, filter, equi-join,
-and GROUP BY — at 10k and 100k rows (joins also at the 2,000 x 2,000 shape the
-vectorisation PR used as its before/after evidence), so successive PRs have a
-perf trajectory to compare against.
+Two suites, selectable with ``--suite``:
+
+* ``sqldb``    — engine operator hot paths (scan, filter, equi-join, GROUP BY)
+  at 10k and 100k rows, written to ``BENCH_sqldb.json``.  The seed
+  (pre-vectorisation) baselines recorded in the output were measured on the
+  same workload shapes with the nested-loop/per-group engine at ``v0``.
+* ``netproto`` — result-set transfer cost: the columnar wire format (typed
+  column buffers, PR 2) against the legacy per-value codec, with and without
+  compression, at 10k and 100k rows, written to ``BENCH_netproto.json``.
+  The legacy baselines are measured live so the speedup is same-machine.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output BENCH_sqldb.json]
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--suite {sqldb,netproto,all}]
+                                                       [--quick] [--output-dir DIR]
 
-The seed (pre-vectorisation) baselines recorded in the output were measured
-on the same workload shapes with the nested-loop/per-group engine at the
-commit tagged ``v0``.
+``--quick`` shrinks row counts and repeats so a CI smoke run finishes in a
+couple of seconds; committed BENCH_*.json files should come from a full run.
 """
 
 from __future__ import annotations
@@ -24,11 +30,19 @@ import random
 import time
 from pathlib import Path
 
+from repro.netproto.compression import CODEC_NONE, CODEC_ZLIB
+from repro.netproto.messages import (
+    ColumnarResultAssembler,
+    columnar_result_messages,
+    decode_result,
+    encode_result,
+)
 from repro.sqldb.database import Database
+from repro.sqldb.result import QueryResult, ResultColumn
+from repro.sqldb.types import SQLType
 
-ROW_COUNTS = [10_000, 100_000]
-JOIN_SIDE_ROWS = 2_000
 GROUP_COUNT = 500
+JOIN_SIDE_ROWS = 2_000
 
 #: Milliseconds measured for the same workloads on the seed engine (v0),
 #: kept here so the report can state the speedup without re-running the
@@ -41,18 +55,32 @@ SEED_BASELINE_MS = {
 }
 
 
-def build_database() -> Database:
+def median_seconds(fn, *, repeat: int) -> float:
+    fn()  # warm caches / allocators
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+# --------------------------------------------------------------------------- #
+# sqldb suite
+# --------------------------------------------------------------------------- #
+def build_database(row_counts: list[int]) -> Database:
     database = Database()
     database.execute("CREATE TABLE big (k INTEGER, v DOUBLE)")
     table = database.storage.table("big")
     rng = random.Random(7)
-    for index in range(max(ROW_COUNTS)):
+    for index in range(max(row_counts)):
         table.insert_row([index % GROUP_COUNT, rng.random()])
-    for rows in ROW_COUNTS:
+    for rows in row_counts:
         database.execute(
             f"CREATE TABLE big_{rows} AS SELECT k, v FROM big LIMIT {rows}")
 
-    for rows in [JOIN_SIDE_ROWS] + ROW_COUNTS:
+    for rows in [JOIN_SIDE_ROWS] + row_counts:
         database.execute(f"CREATE TABLE join_l_{rows} (id INTEGER, x DOUBLE)")
         database.execute(f"CREATE TABLE join_r_{rows} (id INTEGER, y DOUBLE)")
         left = database.storage.table(f"join_l_{rows}")
@@ -64,25 +92,15 @@ def build_database() -> Database:
     return database
 
 
-def timed(database: Database, sql: str, *, repeat: int = 5) -> tuple[float, int]:
-    """Median wall-clock seconds per execution plus the result row count."""
-    database.execute(sql)  # warm the storage layer's array caches
-    samples = []
-    result = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = database.execute(sql)
-        samples.append(time.perf_counter() - start)
-    samples.sort()
-    return samples[len(samples) // 2], result.row_count
-
-
-def run() -> dict:
-    database = build_database()
+def run_sqldb(*, quick: bool = False) -> dict:
+    row_counts = [1_000, 10_000] if quick else [10_000, 100_000]
+    repeat = 2 if quick else 5
+    database = build_database(row_counts)
     results: dict[str, dict] = {}
 
     def record(name: str, sql: str, input_rows: int) -> None:
-        seconds, out_rows = timed(database, sql)
+        out_rows = database.execute(sql).row_count
+        seconds = median_seconds(lambda: database.execute(sql), repeat=repeat)
         entry = {
             "sql": sql,
             "input_rows": input_rows,
@@ -96,7 +114,7 @@ def run() -> dict:
             entry["speedup_vs_seed"] = round(baseline / (seconds * 1000), 1)
         results[name] = entry
 
-    for rows in ROW_COUNTS:
+    for rows in row_counts:
         record(f"scan_{rows}", f"SELECT k, v FROM big_{rows}", rows)
         record(f"filter_{rows}", f"SELECT v FROM big_{rows} WHERE v > 0.5", rows)
         record(f"group_by_{rows}",
@@ -114,26 +132,157 @@ def run() -> dict:
         "suite": "sqldb-vectorized-engine",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "row_counts": ROW_COUNTS,
+        "quick": quick,
+        "row_counts": row_counts,
         "group_count": GROUP_COUNT,
         "results": results,
     }
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_sqldb.json",
-                        help="path of the JSON report (default: BENCH_sqldb.json)")
-    args = parser.parse_args()
-    report = run()
-    output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {output}")
+# --------------------------------------------------------------------------- #
+# netproto suite
+# --------------------------------------------------------------------------- #
+def build_transfer_result(rows: int) -> QueryResult:
+    """The acceptance workload: a 2-column numeric result, list-backed so the
+    columnar path pays its buffer-export cost inside the measurement."""
+    rng = random.Random(7)
+    return QueryResult([
+        ResultColumn("k", SQLType.INTEGER, [i % GROUP_COUNT for i in range(rows)]),
+        ResultColumn("v", SQLType.DOUBLE, [rng.random() for _ in range(rows)]),
+    ])
+
+
+def _bench_legacy(result: QueryResult, codec: str, repeat: int) -> dict:
+    compression = None if codec == CODEC_NONE else codec
+    encoded = encode_result(result, compression=compression)
+    encode_s = median_seconds(
+        lambda: encode_result(result, compression=compression), repeat=repeat)
+    decode_s = median_seconds(
+        lambda: decode_result(encoded.blob, compressed=encoded.compressed,
+                              encrypted=False), repeat=repeat)
+    return {
+        "encode_seconds": round(encode_s, 6),
+        "decode_seconds": round(decode_s, 6),
+        "encode_decode_seconds": round(encode_s + decode_s, 6),
+        "wire_bytes": len(encoded.blob),
+        "raw_bytes": encoded.stats.raw_bytes,
+    }
+
+
+def _bench_columnar(result: QueryResult, codec: str, repeat: int) -> dict:
+    def encode() -> list[dict]:
+        return list(columnar_result_messages(result, compression=codec))
+
+    messages = encode()
+
+    def decode() -> QueryResult:
+        assembler = ColumnarResultAssembler(messages[0])
+        for message in messages[1:]:
+            assembler.add_chunk(message)
+        return assembler.finish()[0]
+
+    def decode_materialised() -> QueryResult:
+        decoded = decode()
+        for column in decoded.columns:
+            column.values  # force Python-object materialisation
+        return decoded
+
+    encode_s = median_seconds(encode, repeat=repeat)
+    decode_s = median_seconds(decode, repeat=repeat)
+    materialise_s = median_seconds(decode_materialised, repeat=repeat)
+    raw_bytes = sum(m["stats"]["raw_bytes"] for m in messages[1:])
+    return {
+        "encode_seconds": round(encode_s, 6),
+        "decode_seconds": round(decode_s, 6),
+        "encode_decode_seconds": round(encode_s + decode_s, 6),
+        "decode_materialised_seconds": round(materialise_s, 6),
+        "wire_bytes": sum(len(m["payload"]) for m in messages[1:]),
+        "raw_bytes": raw_bytes,
+        "chunks": len(messages) - 1,
+    }
+
+
+def run_netproto(*, quick: bool = False) -> dict:
+    row_counts = [1_000, 10_000] if quick else [10_000, 100_000]
+    repeat = 2 if quick else 5
+    results: dict[str, dict] = {}
+    for rows in row_counts:
+        result = build_transfer_result(rows)
+        for codec in (CODEC_NONE, CODEC_ZLIB):
+            legacy = _bench_legacy(result, codec, repeat)
+            columnar = _bench_columnar(result, codec, repeat)
+            speedup = (legacy["encode_decode_seconds"]
+                       / max(columnar["encode_decode_seconds"], 1e-9))
+            materialised_speedup = (
+                legacy["encode_decode_seconds"]
+                / max(columnar["encode_seconds"]
+                      + columnar["decode_materialised_seconds"], 1e-9))
+            results[f"transfer_{rows}_{codec}"] = {
+                "rows": rows,
+                "columns": 2,
+                "codec": codec,
+                "legacy": legacy,
+                "columnar": columnar,
+                "columnar_speedup": round(speedup, 1),
+                "columnar_speedup_materialised": round(materialised_speedup, 1),
+                "wire_bytes_ratio_legacy_over_columnar": round(
+                    legacy["wire_bytes"] / max(columnar["wire_bytes"], 1), 2),
+            }
+    return {
+        "suite": "netproto-columnar-transfer",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "row_counts": row_counts,
+        "results": results,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+def _print_sqldb(report: dict) -> None:
     for name, entry in report["results"].items():
         speedup = entry.get("speedup_vs_seed")
         suffix = f"  ({speedup}x vs seed)" if speedup else ""
         print(f"  {name:>16}: {entry['seconds'] * 1000:8.2f} ms  "
               f"{entry['rows_per_sec']:>12,} rows/sec{suffix}")
+
+
+def _print_netproto(report: dict) -> None:
+    for name, entry in report["results"].items():
+        legacy_ms = entry["legacy"]["encode_decode_seconds"] * 1000
+        columnar_ms = entry["columnar"]["encode_decode_seconds"] * 1000
+        print(f"  {name:>24}: legacy {legacy_ms:8.2f} ms -> "
+              f"columnar {columnar_ms:7.2f} ms  "
+              f"({entry['columnar_speedup']}x, "
+              f"{entry['columnar']['wire_bytes']:,} wire bytes)")
+
+
+SUITES = {
+    "sqldb": (run_sqldb, "BENCH_sqldb.json", _print_sqldb),
+    "netproto": (run_netproto, "BENCH_netproto.json", _print_netproto),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=[*SUITES, "all"], default="all",
+                        help="which benchmark suite to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: smaller row counts, fewer repeats")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory for the BENCH_*.json reports")
+    args = parser.parse_args()
+
+    names = list(SUITES) if args.suite == "all" else [args.suite]
+    for name in names:
+        runner, filename, printer = SUITES[name]
+        report = runner(quick=args.quick)
+        output = Path(args.output_dir) / filename
+        output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {output}")
+        printer(report)
 
 
 if __name__ == "__main__":

@@ -24,8 +24,17 @@ from .compression import (
     compression_ratio,
     decompress,
 )
+from .columnar import ChunkEncoder, decode_chunk, encode_result_chunk
 from .encryption import decrypt, derive_key, encrypt, is_encrypted
-from .messages import TransferStats, decode_result, encode_result
+from .messages import (
+    DEFAULT_CHUNK_ROWS,
+    PROTOCOL_VERSION,
+    ColumnarResultAssembler,
+    TransferStats,
+    columnar_result_messages,
+    decode_result,
+    encode_result,
+)
 from .sampling import SampleSpec, sample_columns, sample_indices
 from .server import (
     DatabaseServer,
@@ -41,7 +50,14 @@ __all__ = [
     "CODEC_NONE",
     "CODEC_RLE",
     "CODEC_ZLIB",
+    "ChunkEncoder",
     "ClientStats",
+    "ColumnarResultAssembler",
+    "DEFAULT_CHUNK_ROWS",
+    "PROTOCOL_VERSION",
+    "columnar_result_messages",
+    "decode_chunk",
+    "encode_result_chunk",
     "Connection",
     "ConnectionInfo",
     "Cursor",

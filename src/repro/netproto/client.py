@@ -17,6 +17,7 @@ from ..sqldb.result import QueryResult
 from . import compression as compression_mod
 from .auth import compute_response, _password_digest
 from .messages import (
+    FORMAT_COLUMNAR,
     MSG_CHALLENGE,
     MSG_CLOSE,
     MSG_ERROR,
@@ -25,6 +26,8 @@ from .messages import (
     MSG_HELLO,
     MSG_QUERY,
     MSG_RESULT,
+    PROTOCOL_VERSION,
+    ColumnarResultAssembler,
     TransferStats,
     decode_result,
 )
@@ -78,6 +81,8 @@ class Connection:
         self._closed = False
         self._authenticated = False
         self._transfer_key: str | None = None
+        #: Negotiated wire protocol version (1 against seed-era servers).
+        self.protocol_version = 1
         self.stats = ClientStats()
         self.default_options = TransferOptions()
 
@@ -107,9 +112,13 @@ class Connection:
             "type": MSG_HELLO,
             "username": self.info.username,
             "database": self.info.database,
+            "protocol_version": PROTOCOL_VERSION,
         })
         if challenge_msg.get("type") != MSG_CHALLENGE:
             raise ProtocolError(f"expected challenge, got {challenge_msg.get('type')!r}")
+        self.protocol_version = max(
+            1, min(int(challenge_msg.get("protocol_version", 1)),
+                   PROTOCOL_VERSION))
         salt = challenge_msg["salt"]
         challenge = challenge_msg["challenge"]
         response = compute_response(self.info.password, salt, challenge)
@@ -152,22 +161,25 @@ class Connection:
         if reply.get("type") != MSG_RESULT:
             raise ProtocolError(f"unexpected reply {reply.get('type')!r}")
 
-        result = decode_result(
-            reply["payload"],
-            compressed=bool(reply.get("compressed")),
-            encrypted=bool(reply.get("encrypted")),
-            encryption_key=self._transfer_key,
-        )
-        stats_dict = reply.get("stats") or {}
-        transfer = TransferStats(
-            raw_bytes=int(stats_dict.get("raw_bytes", 0)),
-            compressed_bytes=int(stats_dict.get("compressed_bytes", 0)),
-            encrypted_bytes=int(stats_dict.get("encrypted_bytes", 0)),
-            wire_bytes=int(stats_dict.get("wire_bytes", 0)),
-            compression_codec=str(stats_dict.get("compression_codec", "none")),
-            encrypted=bool(stats_dict.get("encrypted", False)),
-            total_rows=stats_dict.get("total_rows"),
-        )
+        if reply.get("format") == FORMAT_COLUMNAR:
+            result, transfer = self._receive_columnar(reply)
+        else:
+            result = decode_result(
+                reply["payload"],
+                compressed=bool(reply.get("compressed")),
+                encrypted=bool(reply.get("encrypted")),
+                encryption_key=self._transfer_key,
+            )
+            stats_dict = reply.get("stats") or {}
+            transfer = TransferStats(
+                raw_bytes=int(stats_dict.get("raw_bytes", 0)),
+                compressed_bytes=int(stats_dict.get("compressed_bytes", 0)),
+                encrypted_bytes=int(stats_dict.get("encrypted_bytes", 0)),
+                wire_bytes=int(stats_dict.get("wire_bytes", 0)),
+                compression_codec=str(stats_dict.get("compression_codec", "none")),
+                encrypted=bool(stats_dict.get("encrypted", False)),
+                total_rows=stats_dict.get("total_rows"),
+            )
         self.stats.queries += 1
         self.stats.rows_received += result.row_count
         self.stats.wire_bytes_received += transfer.wire_bytes
@@ -175,6 +187,35 @@ class Connection:
         self.stats.last_transfer = transfer
         self.stats.history.append(transfer)
         return result
+
+    def _receive_columnar(self, header: dict[str, Any]
+                          ) -> tuple[QueryResult, TransferStats]:
+        """Consume the chunk stream following a columnar result header.
+
+        The assembled columns stay backed by the received buffers; Python
+        value lists are only built if the caller touches ``values`` /
+        ``rows()`` / ``fetchall()`` (lazy decode).
+        """
+        assembler = ColumnarResultAssembler(header,
+                                            encryption_key=self._transfer_key)
+        received = 0
+        try:
+            for _ in range(assembler.expected_chunks):
+                chunk = self._transport.receive()
+                received += 1
+                if chunk.get("type") == MSG_ERROR:
+                    raise ExecutionError(chunk.get("message", "query failed"))
+                assembler.add_chunk(chunk)
+        except Exception:
+            # a bad chunk must not leave the remaining frames buffered on the
+            # transport, or every later reply on this connection would desync
+            for _ in range(assembler.expected_chunks - received):
+                try:
+                    self._transport.receive()
+                except Exception:
+                    break
+            raise
+        return assembler.finish()
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script client-side, one statement at a time."""

@@ -30,6 +30,7 @@ CODEC_RLE = "rle"
 # --------------------------------------------------------------------------- #
 def rle_compress(data: bytes) -> bytes:
     """Byte-level run-length encoding: (count, byte) pairs, count <= 255."""
+    data = bytes(data) if not isinstance(data, bytes) else data
     if not data:
         return b""
     out = bytearray()
@@ -72,7 +73,9 @@ class Codec:
 
 
 _CODECS: dict[str, Codec] = {
-    CODEC_NONE: Codec(CODEC_NONE, lambda data: data, lambda data: data),
+    CODEC_NONE: Codec(CODEC_NONE,
+                      lambda data: data if isinstance(data, bytes) else bytes(data),
+                      lambda data: data),
     CODEC_ZLIB: Codec(CODEC_ZLIB,
                       lambda data: zlib.compress(data, 6),
                       zlib.decompress),
@@ -92,8 +95,12 @@ def get_codec(name: str) -> Codec:
                             f"available: {available_codecs()}") from None
 
 
-def compress(data: bytes, codec: str = CODEC_ZLIB) -> bytes:
-    """Compress ``data`` and prepend a one-byte codec id so it is self-describing."""
+def compress(data: bytes | bytearray | memoryview, codec: str = CODEC_ZLIB) -> bytes:
+    """Compress ``data`` and prepend a one-byte codec id so it is self-describing.
+
+    Accepts any bytes-like buffer (the columnar wire path hands in numpy
+    buffer exports) without an intermediate copy for codecs that support it.
+    """
     codec_obj = get_codec(codec)
     codec_id = sorted(_CODECS).index(codec_obj.name)
     return bytes([codec_id]) + codec_obj.compress(data)

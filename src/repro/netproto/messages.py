@@ -10,14 +10,26 @@ the transfer benchmarks can report bytes-on-the-wire per configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from ..errors import ProtocolError, WireFormatError
 from ..sqldb.result import QueryResult, ResultColumn
 from ..sqldb.types import SQLType
+from . import columnar as columnar_mod
 from . import compression as compression_mod
 from . import encryption as encryption_mod
 from .wire import decode_value, encode_value
+
+#: Highest protocol version this build speaks.  Version 1 is the seed
+#: row-oriented dict payload; version 2 adds the columnar chunk stream.
+PROTOCOL_VERSION = 2
+
+#: Result format labels carried in the ``result`` header message.
+FORMAT_LEGACY = "legacy"
+FORMAT_COLUMNAR = "columnar"
+
+#: Default server-side chunk size (rows per ``result_chunk`` message).
+DEFAULT_CHUNK_ROWS = 65_536
 
 # message type names
 MSG_HELLO = "hello"
@@ -26,6 +38,7 @@ MSG_LOGIN = "login"
 MSG_LOGIN_OK = "login_ok"
 MSG_QUERY = "query"
 MSG_RESULT = "result"
+MSG_RESULT_CHUNK = "result_chunk"
 MSG_ERROR = "error"
 MSG_CLOSE = "close"
 MSG_CLOSED = "closed"
@@ -43,12 +56,21 @@ class TransferStats:
     encrypted: bool = False
     sampled_rows: int | None = None
     total_rows: int | None = None
+    chunks: int = 0
 
     @property
     def compression_ratio(self) -> float:
         if self.compressed_bytes <= 0:
             return 1.0
         return self.raw_bytes / self.compressed_bytes
+
+    def add_chunk(self, chunk_stats: dict[str, Any]) -> None:
+        """Accumulate one ``result_chunk`` message's byte counts."""
+        self.raw_bytes += int(chunk_stats.get("raw_bytes", 0))
+        self.compressed_bytes += int(chunk_stats.get("compressed_bytes", 0))
+        self.encrypted_bytes += int(chunk_stats.get("encrypted_bytes", 0))
+        self.wire_bytes += int(chunk_stats.get("wire_bytes", 0))
+        self.chunks += 1
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -61,6 +83,7 @@ class TransferStats:
             "encrypted": self.encrypted,
             "sampled_rows": self.sampled_rows,
             "total_rows": self.total_rows,
+            "chunks": self.chunks,
         }
 
 
@@ -151,3 +174,140 @@ def decode_result(blob: bytes, *, compressed: bool, encrypted: bool,
     if not isinstance(payload, dict):
         raise WireFormatError("result payload is not a dictionary")
     return payload_dict_to_result(payload)
+
+
+# --------------------------------------------------------------------------- #
+# columnar chunk stream (protocol version 2)
+# --------------------------------------------------------------------------- #
+def columnar_result_messages(result: QueryResult, *,
+                             chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                             compression: str | None = None,
+                             encryption_key: str | None = None,
+                             stats_out: TransferStats | None = None
+                             ) -> Iterator[dict[str, Any]]:
+    """Yield the ``result`` header message followed by its chunk messages.
+
+    Chunks are encoded lazily as the iterator advances, so a streaming
+    transport can put chunk *i* on the wire while the client already
+    consumes chunk *i - 1*.  ``stats_out``, when given, accumulates the
+    per-chunk byte counts server-side.
+    """
+    codec = compression or compression_mod.CODEC_NONE
+    chunk_rows = max(1, int(chunk_rows))
+    total_rows = result.row_count
+    chunk_count = (total_rows + chunk_rows - 1) // chunk_rows
+    encoder = columnar_mod.ChunkEncoder(result, codec=codec)
+    if stats_out is not None:
+        stats_out.compression_codec = codec
+        stats_out.encrypted = encryption_key is not None
+        stats_out.total_rows = total_rows
+    yield {
+        "type": MSG_RESULT,
+        "format": FORMAT_COLUMNAR,
+        "protocol_version": PROTOCOL_VERSION,
+        "statement_type": result.statement_type,
+        "affected_rows": result.affected_rows,
+        "row_count": total_rows,
+        "chunk_count": chunk_count,
+        "columns": [{"name": column.name, "type": column.sql_type.value}
+                    for column in result.columns],
+        "compression": codec,
+        "encrypted": encryption_key is not None,
+    }
+    for seq, row_start in enumerate(range(0, max(total_rows, 0), chunk_rows)):
+        row_stop = min(row_start + chunk_rows, total_rows)
+        blob, raw_bytes = encoder.encode(row_start, row_stop)
+        compressed_bytes = len(blob)
+        if encryption_key is not None:
+            blob = encryption_mod.encrypt(blob, encryption_key)
+        chunk_stats = {
+            "raw_bytes": raw_bytes,
+            "compressed_bytes": compressed_bytes,
+            "encrypted_bytes": len(blob) if encryption_key is not None else compressed_bytes,
+            "wire_bytes": len(blob),
+            "rows": row_stop - row_start,
+        }
+        if stats_out is not None:
+            stats_out.add_chunk(chunk_stats)
+        yield {
+            "type": MSG_RESULT_CHUNK,
+            "seq": seq,
+            "row_start": row_start,
+            "row_count": row_stop - row_start,
+            "payload": blob,
+            "encrypted": encryption_key is not None,
+            "stats": chunk_stats,
+        }
+
+
+class ColumnarResultAssembler:
+    """Client-side assembly of a columnar chunk stream into a lazy result.
+
+    Feed the ``result`` header at construction and every ``result_chunk``
+    message via :meth:`add_chunk`; :meth:`finish` builds a
+    :class:`QueryResult` whose columns keep the received buffers zero-copy
+    and only materialise Python lists when touched, plus the accumulated
+    :class:`TransferStats`.
+    """
+
+    def __init__(self, header: dict[str, Any], *,
+                 encryption_key: str | None = None) -> None:
+        if header.get("format") != FORMAT_COLUMNAR:
+            raise ProtocolError("result header is not columnar")
+        self.header = header
+        self.expected_chunks = int(header.get("chunk_count", 0))
+        self.total_rows = int(header.get("row_count", 0))
+        self._encryption_key = encryption_key
+        self._chunks: list[list[columnar_mod.DecodedColumn]] = []
+        self._rows_seen = 0
+        self.stats = TransferStats(
+            compression_codec=str(header.get("compression",
+                                             compression_mod.CODEC_NONE)),
+            encrypted=bool(header.get("encrypted", False)),
+            total_rows=self.total_rows,
+        )
+
+    @property
+    def complete(self) -> bool:
+        return len(self._chunks) >= self.expected_chunks
+
+    def add_chunk(self, message: dict[str, Any]) -> None:
+        if message.get("type") != MSG_RESULT_CHUNK:
+            raise ProtocolError(
+                f"expected result chunk, got {message.get('type')!r}")
+        blob = message.get("payload")
+        if not isinstance(blob, (bytes, bytearray)):
+            raise ProtocolError("result chunk payload must be bytes")
+        blob = bytes(blob)
+        if message.get("encrypted"):
+            if self._encryption_key is None:
+                raise ProtocolError("result is encrypted but no key was provided")
+            blob = encryption_mod.decrypt(blob, self._encryption_key)
+        row_count, columns = columnar_mod.decode_chunk(blob)
+        if len(columns) != len(self.header.get("columns", [])):
+            raise ProtocolError("chunk column count does not match header")
+        self._chunks.append(columns)
+        self._rows_seen += row_count
+        self.stats.add_chunk(message.get("stats") or {})
+
+    def finish(self) -> tuple[QueryResult, TransferStats]:
+        if not self.complete:
+            raise ProtocolError(
+                f"result stream truncated: got {len(self._chunks)} of "
+                f"{self.expected_chunks} chunks")
+        if self._rows_seen != self.total_rows:
+            raise ProtocolError("chunk row counts do not match header")
+        columns = []
+        for index, meta in enumerate(self.header.get("columns", [])):
+            sql_type = SQLType(meta["type"])
+            if not self._chunks:  # empty result: schema only, no chunk data
+                columns.append(ResultColumn(meta["name"], sql_type, []))
+            else:
+                columns.append(columnar_mod.columns_from_chunks(
+                    index, meta["name"], sql_type, self._chunks, self.total_rows))
+        result = QueryResult(
+            columns,
+            affected_rows=int(self.header.get("affected_rows", 0)),
+            statement_type=str(self.header.get("statement_type", "SELECT")),
+        )
+        return result, self.stats

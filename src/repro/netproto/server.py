@@ -13,17 +13,19 @@ through two transports:
 
 from __future__ import annotations
 
+import itertools
 import socket
 import socketserver
 import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from ..errors import AuthenticationError, ProtocolError, ReproError
 from ..sqldb.database import Database
 from . import compression as compression_mod
 from .auth import UserRegistry
 from .messages import (
+    DEFAULT_CHUNK_ROWS,
     MSG_CHALLENGE,
     MSG_CLOSE,
     MSG_CLOSED,
@@ -33,9 +35,11 @@ from .messages import (
     MSG_LOGIN_OK,
     MSG_QUERY,
     MSG_RESULT,
+    PROTOCOL_VERSION,
+    columnar_result_messages,
     encode_result,
 )
-from .wire import decode_message, encode_message, read_frame, write_frame
+from .wire import decode_frame, decode_message, encode_message, read_frame
 
 
 @dataclass
@@ -48,6 +52,8 @@ class Session:
     authenticated: bool = False
     pending_challenge: bytes | None = None
     transfer_key: bytes | None = None
+    #: Negotiated wire protocol version; 1 until the client's hello says more.
+    protocol_version: int = 1
     queries_executed: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -70,9 +76,11 @@ class DatabaseServer:
 
     def __init__(self, database: Database | None = None,
                  registry: UserRegistry | None = None, *,
-                 default_user: str = "monetdb", default_password: str = "monetdb") -> None:
+                 default_user: str = "monetdb", default_password: str = "monetdb",
+                 result_chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
         self.database = database or Database()
         self.registry = registry or UserRegistry()
+        self.result_chunk_rows = max(1, int(result_chunk_rows))
         if default_user and not self.registry.has_user(default_user):
             self.registry.add_user(default_user, default_password,
                                    database=self.database.name)
@@ -94,30 +102,61 @@ class DatabaseServer:
     # message handling
     # ------------------------------------------------------------------ #
     def handle_message(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
-        """Process one request message and produce the response message."""
+        """Process one request and produce a single response message.
+
+        Compatibility wrapper over :meth:`handle_message_stream` for request
+        types that always answer with exactly one message (everything except
+        a columnar query result, which streams header + chunks).
+        """
+        responses = list(self.handle_message_stream(session, message))
+        if len(responses) != 1:
+            raise ProtocolError(
+                "handle_message cannot carry a chunked response; use "
+                "handle_message_stream")
+        return responses[0]
+
+    def handle_message_stream(self, session: Session,
+                              message: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        """Process one request message; yields one or more response messages.
+
+        Chunked query results yield the ``result`` header followed by its
+        ``result_chunk`` messages; everything else yields a single message.
+        All fallible work happens before the first message is yielded, so an
+        error is always reported as a well-formed ``error`` response.
+        """
         try:
             message_type = message.get("type")
             if message_type == MSG_HELLO:
-                return self._handle_hello(session, message)
-            if message_type == MSG_LOGIN:
-                return self._handle_login(session, message)
-            if message_type == MSG_QUERY:
-                return self._handle_query(session, message)
-            if message_type == MSG_CLOSE:
-                return {"type": MSG_CLOSED}
-            raise ProtocolError(f"unknown message type {message_type!r}")
+                responses: Iterable[dict[str, Any]] = (
+                    self._handle_hello(session, message),)
+            elif message_type == MSG_LOGIN:
+                responses = (self._handle_login(session, message),)
+            elif message_type == MSG_QUERY:
+                responses = self._handle_query(session, message)
+            elif message_type == MSG_CLOSE:
+                responses = ({"type": MSG_CLOSED},)
+            else:
+                raise ProtocolError(f"unknown message type {message_type!r}")
         except ReproError as exc:
             self.stats.errors += 1
-            return {
+            responses = ({
                 "type": MSG_ERROR,
                 "error_class": type(exc).__name__,
                 "message": str(exc),
-            }
+            },)
+        yield from responses
 
     def _handle_hello(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
         username = str(message.get("username", ""))
         session.username = username
         session.database = str(message.get("database", self.database.name))
+        # version-1 clients do not send a version: keep serving them the
+        # row-oriented dict payload
+        try:
+            client_version = int(message.get("protocol_version", 1))
+        except (TypeError, ValueError):
+            raise ProtocolError("protocol_version must be an integer") from None
+        session.protocol_version = max(1, min(client_version, PROTOCOL_VERSION))
         salt, challenge = self.registry.challenge_for(username)
         session.pending_challenge = challenge
         return {
@@ -125,7 +164,7 @@ class DatabaseServer:
             "salt": salt,
             "challenge": challenge,
             "server": "repro-monetdb",
-            "protocol_version": 1,
+            "protocol_version": session.protocol_version,
         }
 
     def _handle_login(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
@@ -144,7 +183,8 @@ class DatabaseServer:
         return {"type": MSG_LOGIN_OK, "database": account.database,
                 "username": account.username}
 
-    def _handle_query(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
+    def _handle_query(self, session: Session,
+                      message: dict[str, Any]) -> Iterable[dict[str, Any]]:
         if not session.authenticated:
             raise AuthenticationError("not authenticated")
         sql = str(message.get("sql", ""))
@@ -152,7 +192,12 @@ class DatabaseServer:
             raise ProtocolError("empty query")
         options = message.get("options") or {}
         compression = options.get("compression") or compression_mod.CODEC_NONE
+        compression_mod.get_codec(compression)  # validate before executing
         encrypt = bool(options.get("encrypt", False))
+        try:
+            chunk_rows = int(options.get("chunk_rows") or self.result_chunk_rows)
+        except (TypeError, ValueError):
+            raise ProtocolError("chunk_rows must be an integer") from None
 
         result = self.database.execute(sql)
         session.queries_executed += 1
@@ -164,28 +209,49 @@ class DatabaseServer:
             if session.transfer_key is None:
                 raise ProtocolError("no transfer key available for encryption")
             encryption_key = session.transfer_key.hex()
+
+        if session.protocol_version >= 2:
+            stream = columnar_result_messages(
+                result, chunk_rows=chunk_rows, compression=compression,
+                encryption_key=encryption_key)
+            # pull the header eagerly: buffer export (the fallible part of
+            # encoding) happens here, so errors still become error responses
+            header = next(stream)
+            return itertools.chain((header,), stream)
+
         encoded = encode_result(result, compression=compression,
                                 encryption_key=encryption_key)
-        return {
+        return ({
             "type": MSG_RESULT,
             "payload": encoded.blob,
             "compressed": encoded.compressed,
             "encrypted": encoded.encrypted,
             "stats": encoded.stats.as_dict(),
-        }
+        },)
 
     # ------------------------------------------------------------------ #
     # framed entry point shared by the transports
     # ------------------------------------------------------------------ #
     def handle_frame(self, session: Session, frame_payload: bytes) -> bytes:
+        """One request frame in, all response frames out (concatenated)."""
+        return b"".join(self.handle_frame_stream(session, frame_payload))
+
+    def handle_frame_stream(self, session: Session,
+                            frame_payload: bytes) -> Iterator[bytes]:
+        """One request frame in; yields each encoded response frame lazily.
+
+        This is the streaming entry point: a chunked result is encoded one
+        chunk per iteration, so transports can flush frame *i* before frame
+        *i + 1* exists.
+        """
         request = decode_message(frame_payload)
         session.bytes_received += len(frame_payload)
         self.stats.bytes_received += len(frame_payload)
-        response = self.handle_message(session, request)
-        encoded = encode_message(response)
-        session.bytes_sent += len(encoded)
-        self.stats.bytes_sent += len(encoded)
-        return encoded
+        for response in self.handle_message_stream(session, request):
+            encoded = encode_message(response)
+            session.bytes_sent += len(encoded)
+            self.stats.bytes_sent += len(encoded)
+            yield encoded
 
 
 class InProcessTransport:
@@ -201,20 +267,35 @@ class InProcessTransport:
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._pending: Iterator[bytes] = iter(())
 
-    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+    def send(self, message: dict[str, Any]) -> None:
+        """Submit one request; response frames become available to receive."""
         if self.closed:
             raise ProtocolError("transport is closed")
         request = encode_message(message)
         self.bytes_sent += len(request)
         # strip the frame header the same way the socket path would
-        from .wire import decode_frame
-
         payload, _ = decode_frame(request)
-        response_frame = self.server.handle_frame(self.session, payload)
-        self.bytes_received += len(response_frame)
-        response_payload, _ = decode_frame(response_frame)
+        # the stream is kept lazy: each receive() encodes one more frame,
+        # mirroring how the socket transport overlaps encode and consume
+        self._pending = self.server.handle_frame_stream(self.session, payload)
+
+    def receive(self) -> dict[str, Any]:
+        """Read the next response message of the in-flight request."""
+        if self.closed:
+            raise ProtocolError("transport is closed")
+        try:
+            frame = next(self._pending)
+        except StopIteration:
+            raise ProtocolError("no pending response message") from None
+        self.bytes_received += len(frame)
+        response_payload, _ = decode_frame(frame)
         return decode_message(response_payload)
+
+    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.send(message)
+        return self.receive()
 
     def close(self) -> None:
         self.closed = True
@@ -234,9 +315,12 @@ class _SocketHandler(socketserver.BaseRequestHandler):
                     payload = read_frame(stream)
                 except ProtocolError:
                     return
-                response = database_server.handle_frame(session, payload)
-                stream.write(response)
-                stream.flush()
+                # write each response frame as it is encoded so the client
+                # can consume chunk i while chunk i+1 is still being built
+                for response_frame in database_server.handle_frame_stream(
+                        session, payload):
+                    stream.write(response_frame)
+                    stream.flush()
                 message = decode_message(payload)
                 if message.get("type") == MSG_CLOSE:
                     return
@@ -284,7 +368,7 @@ class SocketTransport:
         self.bytes_sent = 0
         self.bytes_received = 0
 
-    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+    def send(self, message: dict[str, Any]) -> None:
         if self.closed:
             raise ProtocolError("transport is closed")
         payload = encode_message(message)
@@ -292,9 +376,17 @@ class SocketTransport:
         self._stream.write(payload)
         self._stream.flush()
         self.bytes_sent += len(payload)
+
+    def receive(self) -> dict[str, Any]:
+        if self.closed:
+            raise ProtocolError("transport is closed")
         response_payload = read_frame(self._stream)
         self.bytes_received += len(response_payload) + 6
         return decode_message(response_payload)
+
+    def exchange(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.send(message)
+        return self.receive()
 
     def close(self) -> None:
         if not self.closed:

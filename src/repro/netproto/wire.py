@@ -5,9 +5,72 @@ reproduction ships its own small length-prefixed binary protocol so that the
 data-transfer experiments (compression / sampling / encryption, paper §2.1)
 can measure real bytes-on-the-wire rather than Python object sizes.
 
-The codec is self-describing and supports the value types a result set can
-contain: ``None``, booleans, integers, floats, strings, byte strings, lists
-and string-keyed dictionaries.  Frames are ``MAGIC | length | payload``.
+Frame layout
+============
+Every message travels as one frame::
+
+    MAGIC (2 bytes, b"dU") | payload length (u32 BE) | payload
+
+The payload of a control message is a string-keyed dictionary encoded with
+the self-describing *value codec* below.  Result data additionally uses the
+*columnar chunk format* (protocol version 2, :mod:`repro.netproto.columnar`).
+
+Value codec
+===========
+Tag-prefixed, recursive, self-describing.  Tags:
+
+    ``N``         None
+    ``T`` / ``F`` booleans
+    ``I``         integer, fixed-width i64 big-endian (8 bytes)
+    ``J``         big integer fallback: u32 length + two's-complement bytes
+                  (arbitrary precision, used when the value overflows i64)
+    ``D``         float, IEEE-754 f64 big-endian
+    ``S``         string: u32 byte length + UTF-8 bytes
+    ``B``         bytes: u32 length + raw bytes
+    ``L``         list: u32 count + encoded items
+    ``M``         dict: u32 count + alternating encoded string keys / values
+
+Columnar chunk format (protocol version 2)
+==========================================
+Query results are shipped as whole typed column buffers instead of one tagged
+value per cell, so transfer cost scales with bytes rather than Python object
+count.  A ``result`` header message announces the schema and chunk count and
+is followed by ``result_chunk`` messages, each carrying a binary chunk blob::
+
+    "CB" | version u8 | row_count u32 | column_count u16
+    then per column:
+        name        u16 length + UTF-8 bytes
+        sql type    u8  (stable code, see columnar._SQL_TYPE_CODES)
+        dtype tag   u8  (see below)
+        flags       u8  (bit 0: null bitmap present)
+        [null bitmap: u32 length + packed bits, row-major]
+        sections    each ``u32 length + bytes``; every value section is
+                    routed through the compression codec layer
+                    (:mod:`repro.netproto.compression`) and therefore starts
+                    with a one-byte codec id
+
+Dtype tags and their sections:
+
+    0x01 INT64    one section: little-endian i64 value buffer
+    0x02 FLOAT64  one section: little-endian f64 value buffer
+    0x03 BOOL     one section: one byte per value
+    0x10 UTF8     two sections: u32 LE offsets (n+1 entries) + UTF-8 blob
+    0x11 BINARY   two sections: u32 LE offsets (n+1 entries) + raw blob
+    0x20 OBJECT   one section: value-codec encoded list (escape hatch for
+                  values a typed buffer cannot hold, e.g. >64-bit integers)
+
+Version negotiation
+===================
+The client advertises ``protocol_version`` in its ``hello`` message; the
+server replies in the ``challenge`` message with the negotiated version
+``min(client, server)``.  Clients that do not send a version are treated as
+version 1 and receive the legacy row-oriented dict payload produced by
+:func:`repro.netproto.messages.encode_result` in a single ``result`` frame;
+version 2 peers use the columnar chunk stream above.  The negotiation covers
+the *result payload format* only — both peers must share this value codec
+(the ``I`` integer encoding changed from length-prefixed ASCII decimal to
+fixed i64 at the same time the columnar format was introduced, so builds
+from before that point are not byte-compatible at the codec level).
 """
 
 from __future__ import annotations
@@ -25,6 +88,7 @@ _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
 _TAG_FALSE = b"F"
 _TAG_INT = b"I"
+_TAG_BIGINT = b"J"
 _TAG_FLOAT = b"D"
 _TAG_STR = b"S"
 _TAG_BYTES = b"B"
@@ -46,8 +110,10 @@ def encode_value(value: Any) -> bytes:
     if value is False:
         return _TAG_FALSE
     if isinstance(value, int):
-        data = str(value).encode("ascii")
-        return _TAG_INT + struct.pack(">I", len(data)) + data
+        if -(1 << 63) <= value < (1 << 63):
+            return _TAG_INT + struct.pack(">q", value)
+        data = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+        return _TAG_BIGINT + struct.pack(">I", len(data)) + data
     if isinstance(value, float):
         return _TAG_FLOAT + struct.pack(">d", value)
     if isinstance(value, str):
@@ -118,7 +184,9 @@ def _decode(reader: _Reader) -> Any:
     if tag == _TAG_FALSE:
         return False
     if tag == _TAG_INT:
-        return int(reader.read(reader.read_length()).decode("ascii"))
+        return struct.unpack(">q", reader.read(8))[0]
+    if tag == _TAG_BIGINT:
+        return int.from_bytes(reader.read(reader.read_length()), "big", signed=True)
     if tag == _TAG_FLOAT:
         return struct.unpack(">d", reader.read(8))[0]
     if tag == _TAG_STR:

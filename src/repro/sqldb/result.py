@@ -2,37 +2,149 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from .storage import column_to_numpy
+from .storage import arrays_to_values, column_to_numpy, values_to_arrays
 from .types import SQLType, infer_sql_type
 
 
-@dataclass
 class ResultColumn:
     """One column of a query result.
 
-    Results always hold plain Python values: arrays flowing out of the
-    vectorised executor are converted at this boundary so consumers (the wire
-    protocol, DB-API rows, rendering) never see numpy scalars.
+    The column can be backed by a plain Python value list, by a numpy array
+    plus optional null mask (the shape produced by the vectorised executor
+    and by the columnar wire decoder), or by a deferred loader that yields
+    either of those on first touch.  Consumers observe plain Python values:
+    ``values`` materialises lazily, so a client that only ever re-exports the
+    buffers (or hands them to numpy code) never pays for Python object
+    creation — the lazy-decode half of the columnar protocol.
     """
 
-    name: str
-    sql_type: SQLType
-    values: list[Any] = field(default_factory=list)
+    __slots__ = ("name", "sql_type", "_values", "_array", "_mask", "_loader",
+                 "_length")
 
-    def __post_init__(self) -> None:
-        if isinstance(self.values, np.ndarray):
-            self.values = self.values.tolist()
+    def __init__(self, name: str, sql_type: SQLType,
+                 values: Sequence[Any] | np.ndarray | None = None) -> None:
+        self.name = name
+        self.sql_type = sql_type
+        self._values: list[Any] | None = None
+        self._array: np.ndarray | None = None
+        self._mask: np.ndarray | None = None
+        self._loader: Callable[[], tuple[Any, np.ndarray | None]] | None = None
+        self._length: int | None = None
+        if isinstance(values, np.ndarray):
+            if values.dtype == object:
+                # object arrays may hide numpy scalars or Nones; normalise now
+                self._values = values.tolist()
+            else:
+                self._array = values
+        elif values is None:
+            self._values = []
+        elif isinstance(values, list):
+            self._values = values
+        else:
+            self._values = list(values)
+
+    # ------------------------------------------------------------------ #
+    # buffer-backed constructors (columnar wire path)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(cls, name: str, sql_type: SQLType, data: np.ndarray,
+                    mask: np.ndarray | None = None) -> "ResultColumn":
+        """Build a column over a ``(data, null mask)`` buffer pair, zero-copy."""
+        column = cls(name, sql_type, None)
+        column._values = None
+        column._array = data
+        column._mask = mask if mask is not None and mask.any() else None
+        return column
+
+    @classmethod
+    def lazy(cls, name: str, sql_type: SQLType, length: int,
+             loader: Callable[[], tuple[Any, np.ndarray | None]]) -> "ResultColumn":
+        """Build a column whose ``(data, mask)`` pair is produced on first use.
+
+        ``loader`` returns either ``(ndarray, mask-or-None)`` or
+        ``(list-with-Nones, None)``; it runs at most once.
+        """
+        column = cls(name, sql_type, None)
+        column._values = None
+        column._loader = loader
+        column._length = length
+        return column
+
+    def _load(self) -> None:
+        if self._loader is not None:
+            data, mask = self._loader()
+            self._loader = None
+            if isinstance(data, np.ndarray) and data.dtype != object:
+                self._array = data
+                self._mask = mask if mask is not None and mask.any() else None
+            else:
+                self._values = arrays_to_values(data, mask)
+
+    @property
+    def values(self) -> list[Any]:
+        """Plain Python values (materialised lazily from buffers)."""
+        if self._values is None:
+            self._load()
+            if self._values is None:
+                self._values = arrays_to_values(self._array, self._mask)
+        return self._values
+
+    @property
+    def is_materialised(self) -> bool:
+        """True once Python values exist (used by lazy-decode tests)."""
+        return self._values is not None
+
+    def null_mask(self) -> np.ndarray | None:
+        """The null mask of the backing buffer, if the column is array-backed."""
+        return self._mask
+
+    def buffer_arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Export as a ``(data, null mask)`` pair for the columnar wire format.
+
+        Zero-copy when the column is already array-backed; may raise
+        ``OverflowError``/``TypeError`` for values a typed buffer cannot hold
+        (the wire encoder falls back to the object codec in that case).
+        """
+        self._load()
+        if self._values is None and self._array is not None:
+            return self._array, self._mask
+        return values_to_arrays(self._values, self.sql_type)
 
     def to_numpy(self) -> np.ndarray:
+        if self._values is None:
+            self._load()
+        if self._values is None and self._array is not None:
+            if self._mask is None:
+                return self._array
+            # match column_to_numpy: NULL-bearing columns become object arrays
+            return column_to_numpy(arrays_to_values(self._array, self._mask),
+                                   self.sql_type)
         return column_to_numpy(self.values, self.sql_type)
 
     def __len__(self) -> int:
+        if self._values is not None:
+            return len(self._values)
+        if self._array is not None:
+            return len(self._array)
+        if self._length is not None:
+            return self._length
         return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultColumn):
+            return NotImplemented
+        return (self.name == other.name and self.sql_type == other.sql_type
+                and self.values == other.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = "values" if self._values is not None else (
+            "array" if self._array is not None else "lazy")
+        return (f"ResultColumn({self.name!r}, {self.sql_type}, "
+                f"len={len(self)}, backing={backing})")
 
 
 class QueryResult:

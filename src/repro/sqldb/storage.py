@@ -87,6 +87,53 @@ def column_to_numpy(values: Sequence[Any], sql_type: SQLType) -> np.ndarray:
     return np.array(list(values), dtype=dtype)
 
 
+#: NULL placeholder stored in the value buffer at masked positions (the
+#: null bitmap, not the placeholder, is authoritative).
+_NULL_FILL = {
+    SQLType.INTEGER: 0,
+    SQLType.BIGINT: 0,
+    SQLType.DOUBLE: 0.0,
+    SQLType.REAL: 0.0,
+    SQLType.BOOLEAN: False,
+    SQLType.STRING: "",
+    SQLType.BLOB: b"",
+}
+
+
+def values_to_arrays(values: Sequence[Any],
+                     sql_type: SQLType) -> tuple[np.ndarray, np.ndarray | None]:
+    """Export a value list as ``(data array, null mask)`` buffer pair.
+
+    This is the wire-export shape: a contiguous typed data array with NULL
+    positions filled by a placeholder, plus a boolean mask that is ``None``
+    when the column has no NULLs.  The inverse is :func:`arrays_to_values`.
+    """
+    dtype = NUMPY_DTYPES[sql_type]
+    mask: np.ndarray | None = None
+    if any(value is None for value in values):
+        mask = np.fromiter((value is None for value in values),
+                           dtype=bool, count=len(values))
+        fill = _NULL_FILL[sql_type]
+        values = [fill if value is None else value for value in values]
+    if dtype == "object":
+        data = np.empty(len(values), dtype="object")
+        for index, value in enumerate(values):
+            data[index] = value
+    else:
+        data = np.array(list(values), dtype=dtype)
+    return data, mask
+
+
+def arrays_to_values(data: np.ndarray | Sequence[Any],
+                     mask: np.ndarray | None = None) -> list[Any]:
+    """Import a ``(data, mask)`` buffer pair back into a plain value list."""
+    values = data.tolist() if isinstance(data, np.ndarray) else list(data)
+    if mask is not None:
+        for index in np.flatnonzero(mask):
+            values[index] = None
+    return values
+
+
 class Table:
     """A stored table: a schema plus one :class:`Column` per schema column."""
 
