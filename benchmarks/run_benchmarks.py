@@ -43,6 +43,7 @@ from repro.sqldb.types import SQLType
 
 GROUP_COUNT = 500
 JOIN_SIDE_ROWS = 2_000
+STRING_CARDINALITY = 500
 
 #: Milliseconds measured for the same workloads on the seed engine (v0),
 #: kept here so the report can state the speedup without re-running the
@@ -52,6 +53,17 @@ SEED_BASELINE_MS = {
     "filter_100000": 28.2,
     "group_by_100000": 84.6,
     "join_2000": 32080.5,
+}
+
+#: Milliseconds measured for the string/NULL workloads on the pre-vector
+#: engine (PR 2 state: object-array fallback for strings and NULL-bearing
+#: columns), same machine; the unified vector representation PR is the
+#: first one these run vectorised.
+PRE_VECTOR_BASELINE_MS = {
+    "str_filter_100000": 26.3,
+    "str_group_by_100000": 19.3,
+    "null_sum_100000": 22.8,
+    "null_group_sum_100000": 29.1,
 }
 
 
@@ -89,6 +101,18 @@ def build_database(row_counts: list[int]) -> Database:
         left.column("x").extend(index * 0.5 for index in range(rows))
         right.column("id").extend(range(rows))
         right.column("y").extend(index * 0.25 for index in range(rows))
+
+    for rows in row_counts:
+        # string + NULL-heavy workloads: exercise the dictionary-encoded
+        # and validity-masked vector paths
+        database.execute(
+            f"CREATE TABLE str_{rows} (name STRING, v DOUBLE, nv DOUBLE)")
+        table = database.storage.table(f"str_{rows}")
+        table.column("name").extend(
+            f"cat_{index % STRING_CARDINALITY}" for index in range(rows))
+        table.column("v").extend(rng.random() for _ in range(rows))
+        table.column("nv").extend(
+            None if index % 2 else float(index % 97) for index in range(rows))
     return database
 
 
@@ -112,6 +136,11 @@ def run_sqldb(*, quick: bool = False) -> dict:
         if baseline is not None:
             entry["seed_baseline_ms"] = baseline
             entry["speedup_vs_seed"] = round(baseline / (seconds * 1000), 1)
+        pre_vector = PRE_VECTOR_BASELINE_MS.get(name)
+        if pre_vector is not None:
+            entry["pre_vector_baseline_ms"] = pre_vector
+            entry["speedup_vs_pre_vector"] = round(
+                pre_vector / (seconds * 1000), 1)
         results[name] = entry
 
     for rows in row_counts:
@@ -123,6 +152,15 @@ def run_sqldb(*, quick: bool = False) -> dict:
         record(f"join_{rows}",
                f"SELECT l.id, r.y FROM join_l_{rows} l JOIN join_r_{rows} r "
                f"ON l.id = r.id", rows)
+        record(f"str_filter_{rows}",
+               f"SELECT v FROM str_{rows} WHERE name = 'cat_123'", rows)
+        record(f"str_group_by_{rows}",
+               f"SELECT name, COUNT(*), SUM(v) FROM str_{rows} GROUP BY name",
+               rows)
+        record(f"null_sum_{rows}",
+               f"SELECT SUM(nv), COUNT(nv), AVG(nv) FROM str_{rows}", rows)
+        record(f"null_group_sum_{rows}",
+               f"SELECT name, SUM(nv) FROM str_{rows} GROUP BY name", rows)
     record(f"join_{JOIN_SIDE_ROWS}",
            f"SELECT l.id, r.y FROM join_l_{JOIN_SIDE_ROWS} l "
            f"JOIN join_r_{JOIN_SIDE_ROWS} r ON l.id = r.id",
@@ -152,6 +190,14 @@ def build_transfer_result(rows: int) -> QueryResult:
     ])
 
 
+def build_string_transfer_result(rows: int, cardinality: int = 50) -> QueryResult:
+    """A low-cardinality string column: the TAG_DICT acceptance workload."""
+    return QueryResult([
+        ResultColumn("s", SQLType.STRING,
+                     [f"name_{i % cardinality}" for i in range(rows)]),
+    ])
+
+
 def _bench_legacy(result: QueryResult, codec: str, repeat: int) -> dict:
     compression = None if codec == CODEC_NONE else codec
     encoded = encode_result(result, compression=compression)
@@ -169,9 +215,11 @@ def _bench_legacy(result: QueryResult, codec: str, repeat: int) -> dict:
     }
 
 
-def _bench_columnar(result: QueryResult, codec: str, repeat: int) -> dict:
+def _bench_columnar(result: QueryResult, codec: str, repeat: int,
+                    protocol_version: int = 3) -> dict:
     def encode() -> list[dict]:
-        return list(columnar_result_messages(result, compression=codec))
+        return list(columnar_result_messages(result, compression=codec,
+                                             protocol_version=protocol_version))
 
     messages = encode()
 
@@ -228,6 +276,29 @@ def run_netproto(*, quick: bool = False) -> dict:
                 "wire_bytes_ratio_legacy_over_columnar": round(
                     legacy["wire_bytes"] / max(columnar["wire_bytes"], 1), 2),
             }
+        # low-cardinality string transfer: dictionary encoding (TAG_DICT,
+        # protocol v3) vs plain offsets+blob columnar (v2) vs legacy
+        string_result = build_string_transfer_result(rows)
+        legacy = _bench_legacy(string_result, CODEC_NONE, repeat)
+        columnar_v2 = _bench_columnar(string_result, CODEC_NONE, repeat,
+                                      protocol_version=2)
+        columnar_dict = _bench_columnar(string_result, CODEC_NONE, repeat,
+                                        protocol_version=3)
+        results[f"string_transfer_{rows}_none"] = {
+            "rows": rows,
+            "columns": 1,
+            "codec": CODEC_NONE,
+            "legacy": legacy,
+            "columnar_v2": columnar_v2,
+            "columnar_dict": columnar_dict,
+            "dict_wire_bytes_saved_vs_v2":
+                columnar_v2["wire_bytes"] - columnar_dict["wire_bytes"],
+            "wire_bytes_ratio_v2_over_dict": round(
+                columnar_v2["wire_bytes"]
+                / max(columnar_dict["wire_bytes"], 1), 2),
+            "wire_bytes_ratio_legacy_over_dict": round(
+                legacy["wire_bytes"] / max(columnar_dict["wire_bytes"], 1), 2),
+        }
     return {
         "suite": "netproto-columnar-transfer",
         "python": platform.python_version(),
@@ -252,6 +323,12 @@ def _print_sqldb(report: dict) -> None:
 def _print_netproto(report: dict) -> None:
     for name, entry in report["results"].items():
         legacy_ms = entry["legacy"]["encode_decode_seconds"] * 1000
+        if "columnar_dict" in entry:
+            print(f"  {name:>24}: v2 {entry['columnar_v2']['wire_bytes']:,} "
+                  f"wire bytes -> dict {entry['columnar_dict']['wire_bytes']:,} "
+                  f"({entry['wire_bytes_ratio_v2_over_dict']}x smaller, "
+                  f"legacy {legacy_ms:.2f} ms)")
+            continue
         columnar_ms = entry["columnar"]["encode_decode_seconds"] * 1000
         print(f"  {name:>24}: legacy {legacy_ms:8.2f} ms -> "
               f"columnar {columnar_ms:7.2f} ms  "

@@ -5,15 +5,28 @@ execution with per-query transfer options (compression / encryption), and a
 small DB-API-style cursor for code that prefers that interface.  Transfer
 statistics are accumulated per connection so the workflow and transfer
 benchmarks can report bytes moved.
+
+Since the columnar chunk stream (protocol v2) the cursor is *incremental*:
+``Cursor.execute`` opens a :class:`ResultStream` that consumes
+``result_chunk`` frames lazily, so ``fetchone``/``fetchmany`` yield rows as
+soon as their chunk arrives — before the full result is assembled —
+while ``fetchall`` (and ``Connection.execute``) drain the stream and behave
+exactly as before.  Only one stream is live per connection; starting a new
+query drains the previous stream first so the transport never desyncs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from ..errors import AuthenticationError, ConnectionClosedError, ExecutionError, ProtocolError
 from ..sqldb.result import QueryResult
+from ..sqldb.storage import arrays_to_values
+from ..sqldb.types import SQLType
+from ..sqldb.vector import Vector
 from . import compression as compression_mod
 from .auth import compute_response, _password_digest
 from .messages import (
@@ -75,25 +88,34 @@ class Connection:
     """A client connection to a (possibly remote) database server."""
 
     def __init__(self, transport: InProcessTransport | SocketTransport,
-                 info: ConnectionInfo) -> None:
+                 info: ConnectionInfo, *,
+                 max_protocol_version: int = PROTOCOL_VERSION) -> None:
         self._transport = transport
         self.info = info
         self._closed = False
         self._authenticated = False
         self._transfer_key: str | None = None
+        #: Highest version this connection advertises (capped for testing /
+        #: interop with peers that predate dictionary encoding).
+        self.max_protocol_version = max(1, min(int(max_protocol_version),
+                                               PROTOCOL_VERSION))
         #: Negotiated wire protocol version (1 against seed-era servers).
         self.protocol_version = 1
         self.stats = ClientStats()
         self.default_options = TransferOptions()
+        self._active_stream: "ResultStream | None" = None
 
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
     def connect_in_process(cls, server: DatabaseServer,
-                           info: ConnectionInfo | None = None) -> "Connection":
+                           info: ConnectionInfo | None = None, *,
+                           max_protocol_version: int = PROTOCOL_VERSION
+                           ) -> "Connection":
         info = info or ConnectionInfo(database=server.database.name)
-        connection = cls(InProcessTransport(server), info)
+        connection = cls(InProcessTransport(server), info,
+                         max_protocol_version=max_protocol_version)
         connection.login()
         return connection
 
@@ -112,13 +134,13 @@ class Connection:
             "type": MSG_HELLO,
             "username": self.info.username,
             "database": self.info.database,
-            "protocol_version": PROTOCOL_VERSION,
+            "protocol_version": self.max_protocol_version,
         })
         if challenge_msg.get("type") != MSG_CHALLENGE:
             raise ProtocolError(f"expected challenge, got {challenge_msg.get('type')!r}")
         self.protocol_version = max(
             1, min(int(challenge_msg.get("protocol_version", 1)),
-                   PROTOCOL_VERSION))
+                   self.max_protocol_version))
         salt = challenge_msg["salt"]
         challenge = challenge_msg["challenge"]
         response = compute_response(self.info.password, salt, challenge)
@@ -142,10 +164,23 @@ class Connection:
     def execute(self, sql: str, parameters: tuple | None = None,
                 *, options: TransferOptions | None = None) -> QueryResult:
         """Execute one SQL statement and fetch the full result."""
+        return self.execute_stream(sql, parameters, options=options).result()
+
+    def execute_stream(self, sql: str, parameters: tuple | None = None,
+                       *, options: TransferOptions | None = None
+                       ) -> "ResultStream":
+        """Execute one SQL statement and return an incremental result stream.
+
+        Against a columnar (v2+) server the stream's ``fetchone`` /
+        ``fetchmany`` consume ``result_chunk`` frames lazily, yielding rows
+        as soon as their chunk arrives.  Against a v1 server the full result
+        is fetched eagerly and the stream merely iterates it.
+        """
         if self._closed:
             raise ConnectionClosedError("connection is closed")
         if not self._authenticated:
             raise AuthenticationError("connection is not authenticated")
+        self._drain_active_stream()
         if parameters:
             from ..sqldb.database import _apply_parameters
 
@@ -162,60 +197,47 @@ class Connection:
             raise ProtocolError(f"unexpected reply {reply.get('type')!r}")
 
         if reply.get("format") == FORMAT_COLUMNAR:
-            result, transfer = self._receive_columnar(reply)
-        else:
-            result = decode_result(
-                reply["payload"],
-                compressed=bool(reply.get("compressed")),
-                encrypted=bool(reply.get("encrypted")),
-                encryption_key=self._transfer_key,
-            )
-            stats_dict = reply.get("stats") or {}
-            transfer = TransferStats(
-                raw_bytes=int(stats_dict.get("raw_bytes", 0)),
-                compressed_bytes=int(stats_dict.get("compressed_bytes", 0)),
-                encrypted_bytes=int(stats_dict.get("encrypted_bytes", 0)),
-                wire_bytes=int(stats_dict.get("wire_bytes", 0)),
-                compression_codec=str(stats_dict.get("compression_codec", "none")),
-                encrypted=bool(stats_dict.get("encrypted", False)),
-                total_rows=stats_dict.get("total_rows"),
-            )
+            assembler = ColumnarResultAssembler(
+                reply, encryption_key=self._transfer_key)
+            stream = ResultStream(self, header=reply, assembler=assembler)
+            if not stream.complete:
+                self._active_stream = stream
+            else:
+                stream._finalise()
+            return stream
+
+        result = decode_result(
+            reply["payload"],
+            compressed=bool(reply.get("compressed")),
+            encrypted=bool(reply.get("encrypted")),
+            encryption_key=self._transfer_key,
+        )
+        stats_dict = reply.get("stats") or {}
+        transfer = TransferStats(
+            raw_bytes=int(stats_dict.get("raw_bytes", 0)),
+            compressed_bytes=int(stats_dict.get("compressed_bytes", 0)),
+            encrypted_bytes=int(stats_dict.get("encrypted_bytes", 0)),
+            wire_bytes=int(stats_dict.get("wire_bytes", 0)),
+            compression_codec=str(stats_dict.get("compression_codec", "none")),
+            encrypted=bool(stats_dict.get("encrypted", False)),
+            total_rows=stats_dict.get("total_rows"),
+        )
+        return ResultStream(self, result=result, transfer=transfer)
+
+    def _drain_active_stream(self) -> None:
+        """Finish the in-flight chunk stream so the transport stays in sync."""
+        stream = self._active_stream
+        if stream is not None:
+            self._active_stream = None
+            stream._drain()
+
+    def _record_transfer(self, row_count: int, transfer: TransferStats) -> None:
         self.stats.queries += 1
-        self.stats.rows_received += result.row_count
+        self.stats.rows_received += row_count
         self.stats.wire_bytes_received += transfer.wire_bytes
         self.stats.raw_bytes_received += transfer.raw_bytes
         self.stats.last_transfer = transfer
         self.stats.history.append(transfer)
-        return result
-
-    def _receive_columnar(self, header: dict[str, Any]
-                          ) -> tuple[QueryResult, TransferStats]:
-        """Consume the chunk stream following a columnar result header.
-
-        The assembled columns stay backed by the received buffers; Python
-        value lists are only built if the caller touches ``values`` /
-        ``rows()`` / ``fetchall()`` (lazy decode).
-        """
-        assembler = ColumnarResultAssembler(header,
-                                            encryption_key=self._transfer_key)
-        received = 0
-        try:
-            for _ in range(assembler.expected_chunks):
-                chunk = self._transport.receive()
-                received += 1
-                if chunk.get("type") == MSG_ERROR:
-                    raise ExecutionError(chunk.get("message", "query failed"))
-                assembler.add_chunk(chunk)
-        except Exception:
-            # a bad chunk must not leave the remaining frames buffered on the
-            # transport, or every later reply on this connection would desync
-            for _ in range(assembler.expected_chunks - received):
-                try:
-                    self._transport.receive()
-                except Exception:
-                    break
-            raise
-        return assembler.finish()
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script client-side, one statement at a time."""
@@ -238,6 +260,10 @@ class Connection:
         if self._closed:
             return
         try:
+            self._drain_active_stream()
+        except (ProtocolError, ExecutionError, OSError):
+            pass
+        try:
             self._exchange({"type": MSG_CLOSE})
         except (ProtocolError, OSError):
             pass
@@ -258,44 +284,141 @@ class Connection:
         return self._transport.exchange(message)
 
 
-class Cursor:
-    """A minimal DB-API-shaped cursor on top of :class:`Connection`."""
+class ResultStream:
+    """Incremental, chunk-at-a-time view of one query's result.
 
-    def __init__(self, connection: Connection) -> None:
-        self.connection = connection
+    Rows become available as their ``result_chunk`` frame arrives:
+    ``fetchone``/``fetchmany`` pull exactly as many chunks as needed, so the
+    first rows of a large result are usable while later chunks are still on
+    the wire.  ``result()`` (and therefore ``fetchall``) drains the stream
+    and yields the same lazily-decoded :class:`QueryResult` that
+    ``Connection.execute`` always returned.
+    """
+
+    def __init__(self, connection: Connection, *,
+                 header: dict[str, Any] | None = None,
+                 assembler: ColumnarResultAssembler | None = None,
+                 result: QueryResult | None = None,
+                 transfer: TransferStats | None = None) -> None:
+        self._connection = connection
+        self._assembler = assembler
         self._result: QueryResult | None = None
+        self._all_rows: list[tuple] | None = None
+        self._rows: list[tuple] = []     # rows decoded so far, chunk by chunk
         self._position = 0
+        self._chunks_received = 0
+        self._finalised = False
+        self.transfer: TransferStats | None = None
+        if result is not None:
+            # already-complete result (v1 payload or DML)
+            self.columns_meta = [(column.name, column.sql_type.value)
+                                 for column in result.columns]
+            self.statement_type = result.statement_type
+            self.affected_rows = result.affected_rows
+            self.row_count = result.row_count
+            self._result = result
+            self.transfer = transfer or TransferStats()
+            self._finalised = True
+            connection._record_transfer(result.row_count, self.transfer)
+        else:
+            assert header is not None and assembler is not None
+            self.columns_meta = [(str(meta["name"]), str(meta["type"]))
+                                 for meta in header.get("columns", [])]
+            self.statement_type = str(header.get("statement_type", "SELECT"))
+            self.affected_rows = int(header.get("affected_rows", 0))
+            self.row_count = int(header.get("row_count", 0))
+
+    # -- progress (used by tests and monitoring) ------------------------- #
+    @property
+    def complete(self) -> bool:
+        """True once every chunk frame has been received."""
+        return self._finalised or self._assembler is None \
+            or self._assembler.complete
 
     @property
-    def description(self) -> list[tuple] | None:
-        if self._result is None or not self._result.columns:
-            return None
-        return [
-            (column.name, column.sql_type.value, None, None, None, None, None)
-            for column in self._result.columns
-        ]
+    def chunks_received(self) -> int:
+        return self._chunks_received
 
     @property
-    def rowcount(self) -> int:
+    def rows_decoded(self) -> int:
+        """Rows decoded so far via the incremental fetch path."""
+        return len(self._rows)
+
+    # -- chunk consumption ----------------------------------------------- #
+    def _advance(self, *, decode_rows: bool) -> None:
+        """Receive one more chunk frame; on failure flush the remainder so
+        the transport never desyncs (mirrors the pre-stream behaviour)."""
+        assembler = self._assembler
+        assert assembler is not None
+        try:
+            chunk = self._connection._transport.receive()
+            self._chunks_received += 1
+            if chunk.get("type") == MSG_ERROR:
+                raise ExecutionError(chunk.get("message", "query failed"))
+            columns = assembler.add_chunk(chunk)
+        except Exception:
+            if self._connection._active_stream is self:
+                self._connection._active_stream = None
+            for _ in range(assembler.expected_chunks - self._chunks_received):
+                try:
+                    self._connection._transport.receive()
+                except Exception:
+                    break
+            raise
+        if decode_rows:
+            self._rows.extend(_decoded_chunk_rows(columns))
+        if assembler.complete:
+            self._finalise()
+
+    def _finalise(self) -> None:
+        if self._finalised:
+            return
+        assert self._assembler is not None
+        result, transfer = self._assembler.finish()
+        self._result = result
+        self.transfer = transfer
+        self._finalised = True
+        if self._connection._active_stream is self:
+            self._connection._active_stream = None
+        self._connection._record_transfer(result.row_count, transfer)
+
+    def _drain(self) -> None:
+        """Receive every outstanding chunk.
+
+        Skips the incremental row decode unless it already started (in which
+        case the decoded-row view must stay complete for later fetches).
+        """
+        if self._assembler is not None:
+            decode_rows = bool(self._rows)
+            while not self._assembler.complete:
+                self._advance(decode_rows=decode_rows)
+            self._finalise()
+
+    def result(self) -> QueryResult:
+        """The complete (lazily decoded) result; drains remaining chunks."""
         if self._result is None:
-            return -1
-        if self._result.columns:
-            return self._result.row_count
-        return self._result.affected_rows
+            self._drain()
+        assert self._result is not None
+        return self._result
 
-    def execute(self, sql: str, parameters: tuple | None = None) -> "Cursor":
-        self._result = self.connection.execute(sql, parameters)
-        self._position = 0
-        return self
+    # -- row access ------------------------------------------------------- #
+    def _row_at(self, index: int) -> tuple | None:
+        if not self._rows and self._finalised:
+            # completed without incremental decoding (v1 payload, DML, or a
+            # drained stream): read rows from the assembled result
+            if self._all_rows is None:
+                self._all_rows = self.result().fetchall()
+            return self._all_rows[index] if index < len(self._all_rows) else None
+        # incremental path: once any chunk was decoded into _rows, keep using
+        # it — on completion it already holds every row (no second decode)
+        while index >= len(self._rows) and not self.complete:
+            self._advance(decode_rows=True)
+        return self._rows[index] if index < len(self._rows) else None
 
     def fetchone(self) -> tuple | None:
-        if self._result is None:
-            return None
-        rows = self._result.fetchall()
-        if self._position >= len(rows):
-            return None
-        row = rows[self._position]
-        self._position += 1
+        row = self._row_at(self._position)
+        if row is not None:
+            self._position += 1
         return row
 
     def fetchmany(self, size: int = 1) -> list[tuple]:
@@ -308,14 +431,86 @@ class Cursor:
         return rows
 
     def fetchall(self) -> list[tuple]:
-        if self._result is None:
-            return []
-        rows = self._result.fetchall()[self._position:]
-        self._position = self._result.row_count
+        if self._assembler is not None and (self._rows or not self._finalised):
+            # the incremental path was (or still is) in play: decode the
+            # remaining chunks into rows so positions stay consistent
+            while not self.complete:
+                self._advance(decode_rows=True)
+            rows = self._rows[self._position:]
+            self._position = len(self._rows)
+            return rows
+        result = self.result()
+        if self._all_rows is None:
+            self._all_rows = result.fetchall()
+        rows = self._all_rows[self._position:]
+        self._position = len(self._all_rows)
         return rows
 
+
+class Cursor:
+    """A DB-API-shaped cursor with incremental (chunk-at-a-time) fetching.
+
+    ``execute`` opens a :class:`ResultStream`; ``fetchone``/``fetchmany``
+    yield rows as soon as their chunk arrives, ``fetchall`` drains the
+    stream — same rows, same order as the pre-streaming cursor.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._stream: ResultStream | None = None
+
+    @property
+    def description(self) -> list[tuple] | None:
+        if self._stream is None or not self._stream.columns_meta:
+            return None
+        return [
+            (name, type_name, None, None, None, None, None)
+            for name, type_name in self._stream.columns_meta
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        if self._stream is None:
+            return -1
+        if self._stream.columns_meta:
+            return self._stream.row_count
+        return self._stream.affected_rows
+
+    def execute(self, sql: str, parameters: tuple | None = None) -> "Cursor":
+        self._stream = self.connection.execute_stream(sql, parameters)
+        return self
+
+    def fetchone(self) -> tuple | None:
+        if self._stream is None:
+            return None
+        return self._stream.fetchone()
+
+    def fetchmany(self, size: int = 1) -> list[tuple]:
+        if self._stream is None:
+            return []
+        return self._stream.fetchmany(size)
+
+    def fetchall(self) -> list[tuple]:
+        if self._stream is None:
+            return []
+        return self._stream.fetchall()
+
     def close(self) -> None:
-        self._result = None
+        self._stream = None
+
+
+def _decoded_chunk_rows(columns: Sequence[Any]) -> list[tuple]:
+    """Materialise one decoded chunk's columns into row tuples."""
+    lists: list[list[Any]] = []
+    for column in columns:
+        data, mask = column.materialise()
+        if isinstance(data, Vector):
+            lists.append(data.to_list())
+        elif isinstance(data, np.ndarray) or mask is not None:
+            lists.append(arrays_to_values(data, mask))
+        else:
+            lists.append(list(data))
+    return [tuple(row) for row in zip(*lists)] if lists else []
 
 
 def split_statements(sql: str) -> list[str]:

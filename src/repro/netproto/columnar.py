@@ -18,6 +18,19 @@ produces :class:`DecodedColumn` views that decode value buffers zero-copy
 (``np.frombuffer``) and defer any Python-object materialisation to the
 caller — the server side of chunked streaming and the client side of lazy
 decoding respectively.
+
+Dictionary-encoded strings (protocol version 3)
+-----------------------------------------------
+Low-cardinality string columns ship as ``TAG_DICT``: an ``int32`` codes
+buffer per chunk plus the (much smaller) sorted unique-value table, sent
+inline **once per column** (``_FLAG_DICT_INLINE`` on the first chunk; later
+chunks reference the previously shipped dictionary via the decode-side
+dictionary cache).  When the executor already produced a dictionary
+:class:`~repro.sqldb.vector.Vector` (string scans, filters, GROUP BY keys),
+the codes are re-used zero-copy; list-backed string columns are
+dictionary-encoded at the wire when a cardinality sample says it pays off.
+NULLs ride in the ordinary null bitmap — the bitmap, never a code or
+placeholder value, is the source of truth on decode.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from ..errors import WireFormatError
 from ..sqldb.result import QueryResult, ResultColumn
 from ..sqldb.storage import arrays_to_values
 from ..sqldb.types import SQLType
+from ..sqldb.vector import Vector
 from . import compression as compression_mod
 from .wire import decode_value, encode_value
 
@@ -45,9 +59,42 @@ TAG_FLOAT64 = 0x02
 TAG_BOOL = 0x03
 TAG_UTF8 = 0x10
 TAG_BINARY = 0x11
+TAG_DICT = 0x12
 TAG_OBJECT = 0x20
 
 _FLAG_NULLS = 0x01
+_FLAG_DICT_INLINE = 0x02
+
+#: Smallest column / largest relative dictionary worth dictionary-encoding.
+_DICT_MIN_ROWS = 16
+
+
+def _dictionary_worthwhile(dictionary_size: int, row_count: int) -> bool:
+    return row_count >= _DICT_MIN_ROWS and dictionary_size * 2 <= row_count
+
+
+def _maybe_build_dictionary(values: list[Any]) -> Vector | None:
+    """Dictionary-encode a list-backed string column when a sample says the
+    cardinality is low enough to pay off.
+
+    The cheap sample checks (type and cardinality, first 512 values) run
+    before any full-column pass, so high-cardinality columns decline without
+    scanning all values.
+    """
+    row_count = len(values)
+    if row_count < _DICT_MIN_ROWS:
+        return None
+    sample = values[:512]
+    if not all(isinstance(value, str) or value is None for value in sample):
+        return None
+    if len(set(sample)) * 2 > len(sample):
+        return None
+    if not all(isinstance(value, str) or value is None for value in values):
+        return None
+    vector = Vector.from_values(values, SQLType.STRING)
+    if not _dictionary_worthwhile(len(vector.dictionary), row_count):
+        return None
+    return vector
 
 #: Stable wire codes for SQL types (do not reorder: this is wire format).
 _SQL_TYPE_CODES: dict[SQLType, int] = {
@@ -96,14 +143,19 @@ class ChunkEncoder:
     """
 
     def __init__(self, result: QueryResult, *,
-                 codec: str = compression_mod.CODEC_NONE) -> None:
+                 codec: str = compression_mod.CODEC_NONE,
+                 allow_dict: bool = False) -> None:
         self.codec = codec
         self.row_count = result.row_count
-        self._columns: list[tuple[ResultColumn, int, Any, np.ndarray | None]] = []
+        self.allow_dict = allow_dict
+        self._columns: list[tuple[ResultColumn, int, Any, np.ndarray | None,
+                                  np.ndarray | None]] = []
+        self._dict_shipped: set[int] = set()
         for column in result.columns:
             tag = _SQL_TYPE_TAGS[column.sql_type]
             data: Any
             mask: np.ndarray | None
+            dictionary: np.ndarray | None = None
             if tag in _TAG_DTYPES:
                 try:
                     data, mask = column.buffer_arrays()
@@ -111,6 +163,14 @@ class ChunkEncoder:
                 except (OverflowError, TypeError, ValueError):
                     # e.g. a BIGINT column holding a >64-bit Python int
                     tag, data, mask = TAG_OBJECT, column.values, None
+            elif tag == TAG_UTF8 and allow_dict \
+                    and (vector := self._dictionary_vector(column)) is not None:
+                tag = TAG_DICT
+                data = np.ascontiguousarray(
+                    vector.data if vector.mask is None
+                    else np.where(vector.mask, 0, vector.data), dtype="<i4")
+                mask = vector.mask
+                dictionary = vector.dictionary
             else:
                 values = column.values
                 expected = str if tag == TAG_UTF8 else bytes
@@ -123,7 +183,16 @@ class ChunkEncoder:
                         mask = None
                 else:
                     tag, data, mask = TAG_OBJECT, values, None
-            self._columns.append((column, tag, data, mask))
+            self._columns.append((column, tag, data, mask, dictionary))
+
+    def _dictionary_vector(self, column: ResultColumn) -> Vector | None:
+        """A dictionary vector worth shipping as ``TAG_DICT``, else None."""
+        vector = column.dict_vector() if hasattr(column, "dict_vector") else None
+        if vector is not None:
+            if _dictionary_worthwhile(len(vector.dictionary), len(vector)):
+                return vector
+            return None
+        return _maybe_build_dictionary(column.values)
 
     def encode(self, row_start: int, row_stop: int) -> tuple[bytes, int]:
         """Encode rows ``[row_start, row_stop)``; returns (blob, raw bytes).
@@ -135,12 +204,16 @@ class ChunkEncoder:
         parts = [CHUNK_MAGIC,
                  struct.pack("<BIH", CHUNK_VERSION, rows, len(self._columns))]
         raw_total = 0
-        for column, tag, data, mask in self._columns:
+        for index, (column, tag, data, mask, dictionary) in enumerate(self._columns):
             name_bytes = column.name.encode("utf-8")
             chunk_mask = mask[row_start:row_stop] if mask is not None else None
             if chunk_mask is not None and not chunk_mask.any():
                 chunk_mask = None
             flags = _FLAG_NULLS if chunk_mask is not None else 0
+            dict_inline = tag == TAG_DICT and index not in self._dict_shipped
+            if dict_inline:
+                flags |= _FLAG_DICT_INLINE
+                self._dict_shipped.add(index)
             parts.append(struct.pack("<H", len(name_bytes)))
             parts.append(name_bytes)
             parts.append(struct.pack("<BBB", _SQL_TYPE_CODES[column.sql_type],
@@ -154,6 +227,23 @@ class ChunkEncoder:
                                              self.codec)
                 parts.append(section)
                 raw_total += raw
+            elif tag == TAG_DICT:
+                section, raw = _pack_section(data[row_start:row_stop].tobytes(),
+                                             self.codec)
+                parts.append(section)
+                raw_total += raw
+                if dict_inline:
+                    encoded = [entry.encode("utf-8")
+                               for entry in dictionary.tolist()]
+                    offsets = np.zeros(len(encoded) + 1, dtype="<u4")
+                    if encoded:
+                        np.cumsum([len(item) for item in encoded],
+                                  out=offsets[1:], dtype="<u4")
+                    blob = b"".join(encoded)
+                    for payload in (offsets.tobytes(), blob):
+                        section, raw = _pack_section(payload, self.codec)
+                        parts.append(section)
+                        raw_total += raw
             elif tag in (TAG_UTF8, TAG_BINARY):
                 chunk_values = data[row_start:row_stop]
                 encoded = [b"" if v is None
@@ -178,12 +268,17 @@ class ChunkEncoder:
 
 def encode_result_chunk(result: QueryResult, row_start: int = 0,
                         row_stop: int | None = None, *,
-                        codec: str = compression_mod.CODEC_NONE
-                        ) -> tuple[bytes, int]:
-    """One-shot helper: encode a row range of ``result`` as a chunk blob."""
+                        codec: str = compression_mod.CODEC_NONE,
+                        allow_dict: bool = False) -> tuple[bytes, int]:
+    """One-shot helper: encode a row range of ``result`` as a chunk blob.
+
+    With ``allow_dict`` the dictionary (if any) is inlined, so the blob stays
+    self-contained.
+    """
     if row_stop is None:
         row_stop = result.row_count
-    return ChunkEncoder(result, codec=codec).encode(row_start, row_stop)
+    return ChunkEncoder(result, codec=codec,
+                        allow_dict=allow_dict).encode(row_start, row_stop)
 
 
 # --------------------------------------------------------------------------- #
@@ -208,15 +303,23 @@ class DecodedColumn:
     offsets: np.ndarray | None = None   # var-width section
     blob: bytes | None = None           # var-width section
     objects: bytes | None = None        # TAG_OBJECT section (value-codec bytes)
+    codes: np.ndarray | None = None     # TAG_DICT codes view (int32)
+    dictionary: np.ndarray | None = None  # TAG_DICT unique-value table
 
     def materialise(self) -> tuple[Any, np.ndarray | None]:
         """Produce the ``(data, mask)`` pair a :class:`ResultColumn` wants.
 
-        Returns ``(ndarray, mask)`` for fixed-width columns (zero-copy) and
-        ``(list-with-Nones, None)`` for var-width/object columns.
+        Returns ``(ndarray, mask)`` for fixed-width columns (zero-copy),
+        ``(Vector, None)`` for dictionary columns (codes stay encoded; the
+        mask travels inside the vector) and ``(list-with-Nones, None)`` for
+        var-width/object columns.
         """
         if self.data is not None:
             return self.data, self.mask
+        if self.codes is not None:
+            vector = Vector.from_codes(self.codes, self.dictionary,
+                                       self.mask, self.sql_type)
+            return vector, None
         if self.objects is not None:
             values = decode_value(self.objects)
             if not isinstance(values, list):
@@ -258,8 +361,17 @@ class _BlobReader:
         return struct.unpack(fmt, self.read(size))
 
 
-def decode_chunk(blob: bytes) -> tuple[int, list[DecodedColumn]]:
-    """Decode one chunk blob into ``(row_count, decoded columns)``."""
+def decode_chunk(blob: bytes, *,
+                 dictionaries: dict[int, np.ndarray] | None = None
+                 ) -> tuple[int, list[DecodedColumn]]:
+    """Decode one chunk blob into ``(row_count, decoded columns)``.
+
+    ``dictionaries`` is the cross-chunk dictionary cache (column index ->
+    unique-value table): an inline dictionary is stored into it, and a
+    ``TAG_DICT`` chunk without an inline dictionary resolves against it.
+    Callers decoding a multi-chunk stream must pass the same dict for every
+    chunk (the assembler does); a standalone chunk is self-contained.
+    """
     reader = _BlobReader(blob)
     if reader.read(2) != CHUNK_MAGIC:
         raise WireFormatError("bad columnar chunk magic")
@@ -267,7 +379,7 @@ def decode_chunk(blob: bytes) -> tuple[int, list[DecodedColumn]]:
     if version != CHUNK_VERSION:
         raise WireFormatError(f"unsupported columnar chunk version {version}")
     columns: list[DecodedColumn] = []
-    for _ in range(column_count):
+    for column_index in range(column_count):
         (name_len,) = reader.unpack("<H")
         name = reader.read(name_len).decode("utf-8")
         type_code, tag, flags = reader.unpack("<BBB")
@@ -292,6 +404,29 @@ def decode_chunk(blob: bytes) -> tuple[int, list[DecodedColumn]]:
                 raise WireFormatError("column buffer length mismatch")
             columns.append(DecodedColumn(name, sql_type, tag, row_count,
                                          mask, data=data))
+        elif tag == TAG_DICT:
+            codes = np.frombuffer(read_section(), dtype="<i4")
+            if len(codes) != row_count:
+                raise WireFormatError("dictionary codes length mismatch")
+            if flags & _FLAG_DICT_INLINE:
+                offsets = np.frombuffer(read_section(), dtype="<u4")
+                dict_blob = read_section()
+                entries = np.empty(max(len(offsets) - 1, 0), dtype=object)
+                for entry_index, (start, stop) in enumerate(
+                        zip(offsets[:-1].tolist(), offsets[1:].tolist())):
+                    entries[entry_index] = dict_blob[start:stop].decode("utf-8")
+                if dictionaries is not None:
+                    dictionaries[column_index] = entries
+            else:
+                if dictionaries is None or column_index not in dictionaries:
+                    raise WireFormatError(
+                        "dictionary chunk references an unshipped dictionary")
+                entries = dictionaries[column_index]
+            if row_count and (not len(entries) or int(codes.max()) >= len(entries)
+                              or int(codes.min()) < 0):
+                raise WireFormatError("dictionary code out of range")
+            columns.append(DecodedColumn(name, sql_type, tag, row_count, mask,
+                                         codes=codes, dictionary=entries))
         elif tag in (TAG_UTF8, TAG_BINARY):
             offsets = np.frombuffer(read_section(), dtype="<u4")
             if len(offsets) != row_count + 1:
@@ -321,6 +456,21 @@ def columns_from_chunks(column_index: int, name: str, sql_type: SQLType,
     def loader() -> tuple[Any, np.ndarray | None]:
         if len(pieces) == 1:
             return pieces[0].materialise()
+        if all(piece.codes is not None for piece in pieces) and all(
+                piece.dictionary is pieces[0].dictionary for piece in pieces):
+            # one shared dictionary: concatenating the code buffers is the
+            # whole merge — the column stays dictionary-encoded client-side
+            codes = np.concatenate([piece.codes for piece in pieces])
+            if any(piece.mask is not None for piece in pieces):
+                mask = np.concatenate([
+                    piece.mask if piece.mask is not None
+                    else np.zeros(len(piece.codes), dtype=bool)
+                    for piece in pieces
+                ])
+            else:
+                mask = None
+            return Vector.from_codes(codes, pieces[0].dictionary,
+                                     mask, sql_type), None
         datas, masks, any_mask = [], [], False
         for piece in pieces:
             data, mask = piece.materialise()
@@ -338,7 +488,10 @@ def columns_from_chunks(column_index: int, name: str, sql_type: SQLType,
             return merged, full_mask
         values: list[Any] = []
         for data, mask in zip(datas, masks):
-            values.extend(arrays_to_values(data, mask))
+            if isinstance(data, Vector):
+                values.extend(data.to_list())
+            else:
+                values.extend(arrays_to_values(data, mask))
         return values, None
 
     return ResultColumn.lazy(name, sql_type, total_rows, loader)

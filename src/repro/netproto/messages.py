@@ -21,8 +21,9 @@ from . import encryption as encryption_mod
 from .wire import decode_value, encode_value
 
 #: Highest protocol version this build speaks.  Version 1 is the seed
-#: row-oriented dict payload; version 2 adds the columnar chunk stream.
-PROTOCOL_VERSION = 2
+#: row-oriented dict payload; version 2 adds the columnar chunk stream;
+#: version 3 adds dictionary-encoded string columns (``TAG_DICT``).
+PROTOCOL_VERSION = 3
 
 #: Result format labels carried in the ``result`` header message.
 FORMAT_LEGACY = "legacy"
@@ -183,20 +184,24 @@ def columnar_result_messages(result: QueryResult, *,
                              chunk_rows: int = DEFAULT_CHUNK_ROWS,
                              compression: str | None = None,
                              encryption_key: str | None = None,
-                             stats_out: TransferStats | None = None
+                             stats_out: TransferStats | None = None,
+                             protocol_version: int = PROTOCOL_VERSION
                              ) -> Iterator[dict[str, Any]]:
     """Yield the ``result`` header message followed by its chunk messages.
 
     Chunks are encoded lazily as the iterator advances, so a streaming
     transport can put chunk *i* on the wire while the client already
     consumes chunk *i - 1*.  ``stats_out``, when given, accumulates the
-    per-chunk byte counts server-side.
+    per-chunk byte counts server-side.  ``protocol_version`` is the
+    *negotiated* version: dictionary-encoded string columns (``TAG_DICT``)
+    are only emitted for version-3 peers.
     """
     codec = compression or compression_mod.CODEC_NONE
     chunk_rows = max(1, int(chunk_rows))
     total_rows = result.row_count
     chunk_count = (total_rows + chunk_rows - 1) // chunk_rows
-    encoder = columnar_mod.ChunkEncoder(result, codec=codec)
+    encoder = columnar_mod.ChunkEncoder(result, codec=codec,
+                                        allow_dict=protocol_version >= 3)
     if stats_out is not None:
         stats_out.compression_codec = codec
         stats_out.encrypted = encryption_key is not None
@@ -204,7 +209,7 @@ def columnar_result_messages(result: QueryResult, *,
     yield {
         "type": MSG_RESULT,
         "format": FORMAT_COLUMNAR,
-        "protocol_version": PROTOCOL_VERSION,
+        "protocol_version": min(protocol_version, PROTOCOL_VERSION),
         "statement_type": result.statement_type,
         "affected_rows": result.affected_rows,
         "row_count": total_rows,
@@ -259,6 +264,9 @@ class ColumnarResultAssembler:
         self.total_rows = int(header.get("row_count", 0))
         self._encryption_key = encryption_key
         self._chunks: list[list[columnar_mod.DecodedColumn]] = []
+        #: Cross-chunk dictionary cache: a TAG_DICT dictionary is shipped
+        #: inline once per column and referenced by the following chunks.
+        self._dictionaries: dict[int, Any] = {}
         self._rows_seen = 0
         self.stats = TransferStats(
             compression_codec=str(header.get("compression",
@@ -271,7 +279,10 @@ class ColumnarResultAssembler:
     def complete(self) -> bool:
         return len(self._chunks) >= self.expected_chunks
 
-    def add_chunk(self, message: dict[str, Any]) -> None:
+    def add_chunk(self, message: dict[str, Any]
+                  ) -> list[columnar_mod.DecodedColumn]:
+        """Decode one ``result_chunk`` message; returns its decoded columns
+        (the incremental cursor consumes these chunk by chunk)."""
         if message.get("type") != MSG_RESULT_CHUNK:
             raise ProtocolError(
                 f"expected result chunk, got {message.get('type')!r}")
@@ -283,12 +294,14 @@ class ColumnarResultAssembler:
             if self._encryption_key is None:
                 raise ProtocolError("result is encrypted but no key was provided")
             blob = encryption_mod.decrypt(blob, self._encryption_key)
-        row_count, columns = columnar_mod.decode_chunk(blob)
+        row_count, columns = columnar_mod.decode_chunk(
+            blob, dictionaries=self._dictionaries)
         if len(columns) != len(self.header.get("columns", [])):
             raise ProtocolError("chunk column count does not match header")
         self._chunks.append(columns)
         self._rows_seen += row_count
         self.stats.add_chunk(message.get("stats") or {})
+        return columns
 
     def finish(self) -> tuple[QueryResult, TransferStats]:
         if not self.complete:

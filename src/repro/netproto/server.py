@@ -213,7 +213,8 @@ class DatabaseServer:
         if session.protocol_version >= 2:
             stream = columnar_result_messages(
                 result, chunk_rows=chunk_rows, compression=compression,
-                encryption_key=encryption_key)
+                encryption_key=encryption_key,
+                protocol_version=session.protocol_version)
             # pull the header eagerly: buffer export (the fallible part of
             # encoding) happens here, so errors still become error responses
             header = next(stream)

@@ -42,7 +42,8 @@ is followed by ``result_chunk`` messages, each carrying a binary chunk blob::
         name        u16 length + UTF-8 bytes
         sql type    u8  (stable code, see columnar._SQL_TYPE_CODES)
         dtype tag   u8  (see below)
-        flags       u8  (bit 0: null bitmap present)
+        flags       u8  (bit 0: null bitmap present;
+                         bit 1: inline dictionary present, TAG_DICT only)
         [null bitmap: u32 length + packed bits, row-major]
         sections    each ``u32 length + bytes``; every value section is
                     routed through the compression codec layer
@@ -56,6 +57,15 @@ Dtype tags and their sections:
     0x03 BOOL     one section: one byte per value
     0x10 UTF8     two sections: u32 LE offsets (n+1 entries) + UTF-8 blob
     0x11 BINARY   two sections: u32 LE offsets (n+1 entries) + raw blob
+    0x12 DICT     dictionary-encoded strings (protocol version 3): one
+                  section of little-endian i32 codes indexing the column's
+                  sorted unique-value table; when flags bit 1 is set the
+                  table follows as two more sections (u32 LE offsets + UTF-8
+                  blob).  The dictionary ships inline once per column — the
+                  first chunk carries it, later chunks reference it through
+                  the decoder's per-result dictionary cache.  NULL rows are
+                  marked by the null bitmap only (their code is a
+                  placeholder, not a sentinel).
     0x20 OBJECT   one section: value-codec encoded list (escape hatch for
                   values a typed buffer cannot hold, e.g. >64-bit integers)
 
@@ -66,11 +76,13 @@ server replies in the ``challenge`` message with the negotiated version
 ``min(client, server)``.  Clients that do not send a version are treated as
 version 1 and receive the legacy row-oriented dict payload produced by
 :func:`repro.netproto.messages.encode_result` in a single ``result`` frame;
-version 2 peers use the columnar chunk stream above.  The negotiation covers
-the *result payload format* only — both peers must share this value codec
-(the ``I`` integer encoding changed from length-prefixed ASCII decimal to
-fixed i64 at the same time the columnar format was introduced, so builds
-from before that point are not byte-compatible at the codec level).
+version 2 peers use the columnar chunk stream above; version 3 peers
+additionally receive low-cardinality string columns dictionary-encoded as
+``TAG_DICT``.  The negotiation covers the *result payload format* only —
+both peers must share this value codec (the ``I`` integer encoding changed
+from length-prefixed ASCII decimal to fixed i64 at the same time the
+columnar format was introduced, so builds from before that point are not
+byte-compatible at the codec level).
 """
 
 from __future__ import annotations

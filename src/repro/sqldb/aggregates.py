@@ -2,9 +2,16 @@
 
 Two execution tiers live here: the original per-value Python implementations
 (exact SQL NULL semantics, used for object columns and exotic aggregates) and
-numpy kernels used when the input is a NULL-free typed array — whole-column
-reductions for implicit aggregation and ``reduceat``-based grouped reductions
-for single-pass hash aggregation.
+numpy kernels used when the input is a typed array or a
+:class:`repro.sqldb.vector.Vector` — whole-column reductions for implicit
+aggregation and ``reduceat``-based grouped reductions for single-pass hash
+aggregation.  NULL-bearing vectors stay on the numpy tier: SUM/AVG zero-fill
+masked positions and divide by per-group valid counts, MIN/MAX fill with the
+dtype's identity element, COUNT reduces the validity mask itself, and groups
+with no valid value yield ``None`` — the same results the per-value
+implementations produce, computed per byte instead of per Python object.
+Dictionary-encoded string vectors run MIN/MAX on the codes (the dictionary
+is sorted, so code order is string order).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import numpy as np
 
 from ..errors import ExecutionError
 from .types import python_value
+from .vector import Vector
 
 AggregateFunction = Callable[[Sequence[Any]], Any]
 
@@ -136,16 +144,47 @@ def _whole_column_vector(upper: str, values: np.ndarray) -> Any:
     return np.max(values).item()
 
 
+#: Sentinel: a vector kernel declined and the Python tier must run instead.
+_FALLBACK = object()
+
+
+def _whole_column_masked(upper: str, vector: Vector) -> Any:
+    """Whole-column reduction over a vector (mask-aware); may decline."""
+    size = len(vector)
+    null_count = vector.null_count()
+    if upper == "COUNT":
+        return size - null_count
+    if null_count == size:
+        return None
+    if vector.dictionary is not None:
+        if upper not in ("MIN", "MAX"):
+            return _FALLBACK  # SUM/AVG over strings: Python-tier errors apply
+        codes = vector.data if vector.mask is None else vector.data[~vector.mask]
+        code = int(np.min(codes) if upper == "MIN" else np.max(codes))
+        return vector.dictionary[code]
+    data = vector.data if vector.mask is None else vector.data[~vector.mask]
+    if _int_sum_may_overflow(upper, data):
+        return _FALLBACK
+    return _whole_column_vector(upper, data)
+
+
 def call_aggregate(name: str, values: Sequence[Any], *, is_star: bool = False,
                    distinct: bool = False) -> Any:
     """Evaluate an aggregate over the per-row values of its argument.
 
-    ``values`` may be a list or a numpy array; NULL-free typed arrays are
-    reduced with numpy, everything else by the per-value implementations.
+    ``values`` may be a list, a numpy array or a :class:`Vector`; typed
+    arrays and vectors are reduced with numpy (masks excluded per SQL NULL
+    semantics), everything else by the per-value implementations.
     """
     upper = name.upper()
     if upper not in AGGREGATE_FUNCTIONS:
         raise ExecutionError(f"unknown aggregate {name!r}")
+    if isinstance(values, Vector):
+        if not distinct and len(values) > 0 and upper in VECTOR_AGGREGATES:
+            result = _whole_column_masked(upper, values)
+            if result is not _FALLBACK:
+                return python_value(result)
+        values = values.to_list()
     if isinstance(values, np.ndarray):
         if (not distinct and values.dtype != object and values.size > 0
                 and upper in VECTOR_AGGREGATES
@@ -256,14 +295,80 @@ def _grouped_vector(upper: str, values: np.ndarray, layout: GroupLayout) -> list
     return layout.to_group_order(per_cluster).tolist()
 
 
+#: Identity fill per reduction: masked positions must not affect the result.
+_REDUCE_FILL = {
+    "MIN": {"f": np.inf, "i": np.iinfo(np.int64).max, "u": np.iinfo(np.int64).max},
+    "MAX": {"f": -np.inf, "i": np.iinfo(np.int64).min, "u": np.iinfo(np.int64).min},
+}
+
+
+def _grouped_vector_masked(upper: str, vector: Vector,
+                           layout: GroupLayout) -> list[Any] | None:
+    """Grouped masked reduction over a vector; ``None`` = use the Python tier.
+
+    One ``reduceat`` pass per aggregate: the validity mask is reduced to
+    per-group valid counts, masked positions are filled with the reduction's
+    identity element, and groups with no valid value come out as ``None``.
+    """
+    if vector.mask is None and vector.dictionary is None:
+        if _int_sum_may_overflow(upper, vector.data):
+            return None
+        return _grouped_vector(upper, vector.data, layout)
+    order = layout.order
+    starts = layout.starts
+    valid = vector.valid()
+    valid_counts = layout.to_group_order(
+        np.add.reduceat(valid[order].astype(np.int64), starts))
+    if upper == "COUNT":
+        return valid_counts.tolist()
+    if vector.dictionary is not None:
+        if upper not in ("MIN", "MAX"):
+            return None  # SUM/AVG over strings: Python-tier errors apply
+        fill = (np.iinfo(np.int64).max if upper == "MIN"
+                else np.iinfo(np.int64).min)
+        filled = np.where(valid, vector.data, fill)[order]
+        reducer = np.minimum if upper == "MIN" else np.maximum
+        per_group = layout.to_group_order(reducer.reduceat(filled, starts))
+        return [None if count == 0 else vector.dictionary[code]
+                for code, count in zip(per_group.tolist(), valid_counts.tolist())]
+    data = vector.data
+    was_bool = data.dtype == np.bool_
+    if was_bool:
+        data = data.astype(np.int64)
+    if upper == "SUM" and data.dtype.kind in "iu" \
+            and _int_sum_may_overflow(upper, data[valid]):
+        return None
+    if upper == "SUM":
+        sums = layout.to_group_order(
+            np.add.reduceat(np.where(valid, data, 0)[order], starts))
+        return [None if count == 0 else value
+                for value, count in zip(sums.tolist(), valid_counts.tolist())]
+    if upper == "AVG":
+        sums = layout.to_group_order(np.add.reduceat(
+            np.where(valid, data, 0).astype(np.float64)[order], starts))
+        averages = sums / np.maximum(valid_counts, 1)
+        return [None if count == 0 else value
+                for value, count in zip(averages.tolist(), valid_counts.tolist())]
+    # MIN / MAX
+    fill = _REDUCE_FILL[upper].get(data.dtype.kind)
+    if fill is None:
+        return None
+    filled = np.where(valid, data, fill)[order]
+    reducer = np.minimum if upper == "MIN" else np.maximum
+    per_group = layout.to_group_order(reducer.reduceat(filled, starts))
+    return [None if count == 0 else (bool(value) if was_bool else value)
+            for value, count in zip(per_group.tolist(), valid_counts.tolist())]
+
+
 def grouped_aggregate(name: str, values: Sequence[Any], layout: GroupLayout, *,
                       is_star: bool = False, distinct: bool = False) -> list[Any]:
     """Per-group aggregate results, in group order (one entry per group).
 
-    ``values`` is the row-aligned argument column.  NULL-free typed arrays
-    with a vectorisable aggregate are reduced in one ``reduceat`` pass; all
-    other cases delegate to :func:`call_aggregate` per group, which keeps the
-    results bit-identical to the per-group execution path.
+    ``values`` is the row-aligned argument column.  Typed arrays and vectors
+    with a vectorisable aggregate are reduced in one ``reduceat`` pass
+    (mask-aware for NULL-bearing vectors); all other cases delegate to
+    :func:`call_aggregate` per group, which keeps the results bit-identical
+    to the per-group execution path.
     """
     upper = name.upper()
     if upper not in AGGREGATE_FUNCTIONS:
@@ -271,10 +376,20 @@ def grouped_aggregate(name: str, values: Sequence[Any], layout: GroupLayout, *,
     if upper == "COUNT" and is_star and not distinct:
         return layout.counts.tolist()
     if (not distinct and layout.size > 0 and upper in VECTOR_AGGREGATES
+            and isinstance(values, Vector)):
+        result = _grouped_vector_masked(upper, values, layout)
+        if result is not None:
+            return result
+    if (not distinct and layout.size > 0 and upper in VECTOR_AGGREGATES
             and isinstance(values, np.ndarray) and values.dtype != object
             and not _int_sum_may_overflow(upper, values)):
         return _grouped_vector(upper, values, layout)
-    value_list = values.tolist() if isinstance(values, np.ndarray) else list(values)
+    if isinstance(values, Vector):
+        value_list: list[Any] = values.to_list()
+    elif isinstance(values, np.ndarray):
+        value_list = values.tolist()
+    else:
+        value_list = list(values)
     return [
         call_aggregate(name, [value_list[i] for i in rows],
                        is_star=is_star, distinct=distinct)

@@ -43,6 +43,7 @@ from .schema import ColumnDef, FunctionSignature, TableSchema
 from .storage import Storage, Table
 from .types import ColumnType, SQLType, infer_sql_type, python_value
 from .udf import convert_table_result
+from .vector import NULL_CODE, Vector, remap_to_shared_dictionary, vector_parts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -287,7 +288,17 @@ class Executor:
             output_length = max(len(r) for r in results)
         columns = []
         for name, result in zip(names, results):
-            values = as_value_list(result.broadcast(output_length))
+            values = result.broadcast(output_length)
+            if isinstance(values, Vector):
+                # keep the vector backing: no Python-object materialisation,
+                # and the dictionary flows through to the wire encoder
+                sql_type = result.sql_type or values.sql_type
+                columns.append(ResultColumn.from_vector(name, sql_type, values))
+                continue
+            if is_vector(values) and result.sql_type is not None:
+                columns.append(ResultColumn(name, result.sql_type, values))
+                continue
+            values = as_value_list(values)
             sql_type = result.sql_type or _infer_column_type(values)
             columns.append(ResultColumn(name, sql_type, values))
         return QueryResult(columns)
@@ -365,28 +376,12 @@ class Executor:
             evaluator.evaluate(expr).broadcast(row_count)
             for expr in select.group_by
         ]
-        if len(key_columns) == 1 and is_vector(key_columns[0]) and row_count > 0:
-            # one stable key sort yields the factorisation AND the contiguous
-            # cluster geometry the reduceat kernels need
-            array = key_columns[0]
-            order = np.argsort(array, kind="stable")
-            sorted_keys = array[order]
-            new_cluster = np.empty(row_count, dtype=np.bool_)
-            new_cluster[0] = True
-            np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_cluster[1:])
-            starts = np.flatnonzero(new_cluster)
-            n_groups = int(starts.size)
-            # stable sort => the first row of each cluster is its earliest row
-            first_rows = order[starts]
-            out_perm = np.empty(n_groups, dtype=np.int64)
-            out_perm[np.argsort(first_rows, kind="stable")] = \
-                np.arange(n_groups, dtype=np.int64)
-            cluster_of_sorted_row = np.cumsum(new_cluster) - 1
-            gids = np.empty(row_count, dtype=np.int64)
-            gids[order] = out_perm[cluster_of_sorted_row]
-            layout = GroupLayout(gids, n_groups, order=order, starts=starts,
-                                 out_perm=out_perm)
-            return layout, np.sort(first_rows)
+        if len(key_columns) == 1 and row_count > 0:
+            sort_key = _grouping_key_array(key_columns[0])
+            if sort_key is not None:
+                # one stable key sort yields the factorisation AND the
+                # contiguous cluster geometry the reduceat kernels need
+                return _layout_from_sort_key(sort_key, row_count)
 
         columns = [as_value_list(column) for column in key_columns]
         mapping: dict[tuple, int] = {}
@@ -565,9 +560,10 @@ class Executor:
     @staticmethod
     def _batch_from_table(table: Table, *, alias: str) -> Batch:
         # near-zero-copy scan: share the storage layer's cached (read-only)
-        # numpy arrays instead of copying every column per query
+        # arrays/vectors instead of copying every column per query
         columns = [
-            BatchColumn(alias, column.name, column.sql_type, column.to_numpy())
+            BatchColumn(alias, column.name, column.sql_type,
+                        column.scan_values())
             for column in table.columns
         ]
         return Batch(columns, row_count=table.row_count)
@@ -675,6 +671,12 @@ class Executor:
                            join_type: str
                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Build on the right input, probe with the left (SQL NULLs never match)."""
+        if len(pairs) == 1:
+            left_ref, right_ref = pairs[0]
+            keys = _join_key_arrays(left.resolve(left_ref.name, left_ref.table).values,
+                                    right.resolve(right_ref.name, right_ref.table).values)
+            if keys is not None:
+                return _vector_equi_join(*keys, join_type=join_type)
         left_keys = [left.resolve(ref.name, ref.table).value_list()
                      for ref, _ in pairs]
         right_keys = [right.resolve(ref.name, ref.table).value_list()
@@ -761,6 +763,141 @@ class Executor:
 # --------------------------------------------------------------------------- #
 # grouping / join helpers
 # --------------------------------------------------------------------------- #
+def _join_key_arrays(left_values: Any, right_values: Any
+                     ) -> tuple[np.ndarray, np.ndarray | None,
+                                np.ndarray, np.ndarray | None] | None:
+    """Normalise both sides of an equi-join key to one comparable space.
+
+    Returns ``(left data, left mask, right data, right mask)`` — integer
+    codes for dictionary strings (remapped into one shared dictionary),
+    a common numeric dtype otherwise — or ``None`` when the pair cannot
+    take the vectorised join (object columns, string-vs-number joins).
+    """
+    left_parts = vector_parts(left_values)
+    right_parts = vector_parts(right_values)
+    if left_parts is None or right_parts is None:
+        return None
+    l_data, l_mask, l_dict = left_parts
+    r_data, r_mask, r_dict = right_parts
+    if (l_dict is None) != (r_dict is None):
+        return None  # string-vs-number join: Python equality semantics apply
+    if l_dict is not None:
+        l_codes, r_codes = remap_to_shared_dictionary(
+            Vector(l_data, l_mask, l_dict), Vector(r_data, r_mask, r_dict))
+        return l_codes, l_mask, r_codes, r_mask
+    if l_data.dtype.kind not in "biuf" or r_data.dtype.kind not in "biuf":
+        return None
+    if l_data.dtype.kind == "f" or r_data.dtype.kind == "f":
+        # mixed int/float keys compare through float64; integers beyond
+        # 2^53 would collide after the cast where exact Python equality
+        # would not match, so those stay on the exact per-row path
+        for data in (l_data, r_data):
+            if data.dtype.kind in "iu" and data.size \
+                    and max(abs(int(data.max())), abs(int(data.min()))) > 2 ** 53:
+                return None
+        common: type = np.float64
+    else:
+        common = np.int64
+    return (l_data.astype(common, copy=False), l_mask,
+            r_data.astype(common, copy=False), r_mask)
+
+
+def _vector_equi_join(left_data: np.ndarray, left_mask: np.ndarray | None,
+                      right_data: np.ndarray, right_mask: np.ndarray | None,
+                      *, join_type: str
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Vectorised single-key equi-join: sort/searchsorted build + probe.
+
+    The right side is factorised with ``np.unique`` and its rows grouped per
+    key; the left side probes with ``searchsorted``.  NULL keys (masked rows)
+    are excluded from both build and probe, so they never match — matching
+    the three-valued-logic behaviour of the per-row hash join.  Output pair
+    order matches the Python loop: left rows ascending, right matches in
+    original row order within each key.
+    """
+    left_count = len(left_data)
+    right_rows = (np.flatnonzero(~right_mask) if right_mask is not None
+                  else np.arange(len(right_data), dtype=np.intp))
+    right_keys = right_data[right_rows]
+    unique_keys, right_inverse = np.unique(right_keys, return_inverse=True)
+    by_key = np.argsort(right_inverse, kind="stable")
+    grouped_rows = right_rows[by_key]
+    counts = np.bincount(right_inverse, minlength=len(unique_keys))
+    group_starts = np.concatenate(([0], np.cumsum(counts[:-1]))) \
+        if len(unique_keys) else np.zeros(0, dtype=np.int64)
+
+    if len(unique_keys):
+        positions = np.searchsorted(unique_keys, left_data)
+        clipped = np.minimum(positions, len(unique_keys) - 1)
+        found = (positions < len(unique_keys)) & (unique_keys[clipped] == left_data)
+    else:
+        positions = np.zeros(left_count, dtype=np.intp)
+        found = np.zeros(left_count, dtype=np.bool_)
+    if left_mask is not None:
+        found &= ~left_mask
+
+    probe_rows = np.flatnonzero(found)
+    probe_keys = positions[probe_rows]
+    match_counts = counts[probe_keys]
+    total = int(match_counts.sum())
+    prefix = np.cumsum(match_counts) - match_counts
+    within = np.arange(total, dtype=np.intp) - np.repeat(prefix, match_counts)
+    right_out = grouped_rows[np.repeat(group_starts[probe_keys], match_counts)
+                             + within] if total else np.zeros(0, dtype=np.intp)
+    left_out = np.repeat(probe_rows, match_counts).astype(np.intp, copy=False)
+    unmatched = np.flatnonzero(~found) if join_type == "LEFT" else None
+    return left_out, np.asarray(right_out, dtype=np.intp), unmatched
+
+
+def _grouping_key_array(values: Any) -> np.ndarray | None:
+    """A sortable key array factorising a GROUP BY column; None = fall back.
+
+    NULLs form their own group (SQL semantics: all NULL keys group together),
+    represented by ``NULL_CODE`` — below every valid code/value.  Dictionary
+    vectors group on their codes directly; masked numeric vectors factorise
+    the valid values with ``np.unique`` so NULLs get a code of their own.
+    """
+    if is_vector(values):
+        return values
+    if not isinstance(values, Vector):
+        return None
+    if values.dictionary is not None:
+        if values.mask is None:
+            return values.data
+        return np.where(values.mask, NULL_CODE, values.data)
+    if values.mask is None:
+        return values.data
+    valid = ~values.mask
+    codes = np.full(len(values), NULL_CODE, dtype=np.int64)
+    if valid.any():
+        _, inverse = np.unique(values.data[valid], return_inverse=True)
+        codes[valid] = inverse
+    return codes
+
+
+def _layout_from_sort_key(array: np.ndarray, row_count: int
+                          ) -> tuple[GroupLayout, Sequence[int]]:
+    """Factorise one key array into (layout, first-row-per-group) geometry."""
+    order = np.argsort(array, kind="stable")
+    sorted_keys = array[order]
+    new_cluster = np.empty(row_count, dtype=np.bool_)
+    new_cluster[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_cluster[1:])
+    starts = np.flatnonzero(new_cluster)
+    n_groups = int(starts.size)
+    # stable sort => the first row of each cluster is its earliest row
+    first_rows = order[starts]
+    out_perm = np.empty(n_groups, dtype=np.int64)
+    out_perm[np.argsort(first_rows, kind="stable")] = \
+        np.arange(n_groups, dtype=np.int64)
+    cluster_of_sorted_row = np.cumsum(new_cluster) - 1
+    gids = np.empty(row_count, dtype=np.int64)
+    gids[order] = out_perm[cluster_of_sorted_row]
+    layout = GroupLayout(gids, n_groups, order=order, starts=starts,
+                         out_perm=out_perm)
+    return layout, np.sort(first_rows)
+
+
 class _GroupedExpressionEvaluator(ExpressionEvaluator):
     """Evaluates select items over one representative row per group.
 
@@ -878,7 +1015,7 @@ def _infer_column_type(values: Sequence[Any]) -> SQLType:
 
 def _batch_from_result(result: QueryResult, alias: str | None) -> Batch:
     columns = [
-        BatchColumn(alias, column.name, column.sql_type, list(column.values))
+        BatchColumn(alias, column.name, column.sql_type, column.batch_values())
         for column in result.columns
     ]
     return Batch(columns, row_count=result.row_count)

@@ -2,14 +2,18 @@
 
 The evaluator works on a :class:`Batch` — the columnar intermediate produced
 by the FROM clause — and returns one value column per expression.  Batch
-columns may be backed either by plain Python lists or by shared numpy arrays
-(the zero-copy scan format produced by the storage layer); comparison,
-arithmetic and logical operators run as whole-array numpy kernels whenever
-both operands are NULL-free numeric arrays, falling back to the per-element
-interpreter for object columns so SQL NULL semantics are preserved exactly.
-Scalar Python UDFs referenced in expressions are invoked **once per operator
-call** with whole columns, which is the MonetDB operator-at-a-time behaviour
-the paper's §2.4 contrasts with tuple-at-a-time engines.
+columns may be backed by plain Python lists, by shared numpy arrays (the
+zero-copy scan format produced by the storage layer), or by
+:class:`repro.sqldb.vector.Vector`s (typed values + validity mask + optional
+string dictionary).  Comparison, arithmetic and logical operators run as
+whole-array numpy kernels whenever the operands are numeric arrays, masked
+vectors or dictionary vectors: NULLs propagate by mask union (Kleene
+three-valued logic for AND/OR), string comparisons and LIKE run over the
+dictionary codes, and only genuinely object-typed data (BLOBs, mixed-type
+columns) falls back to the per-element interpreter.  Scalar Python UDFs
+referenced in expressions are invoked **once per operator call** with whole
+columns, which is the MonetDB operator-at-a-time behaviour the paper's §2.4
+contrasts with tuple-at-a-time engines.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from .aggregates import call_aggregate, is_aggregate
 from .functions import call_builtin_scalar, is_builtin_scalar
 from .types import SQLType, infer_sql_type, python_value
 from .udf import columns_to_udf_args, convert_scalar_result
+from .vector import Vector, combine_masks, remap_to_shared_dictionary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -42,6 +47,8 @@ def as_value_list(values: Any) -> list[Any]:
     vector column, builtins over array arguments) can leave numpy scalars
     behind.
     """
+    if isinstance(values, Vector):
+        return values.to_list()
     if isinstance(values, np.ndarray):
         return values.tolist()
     return [python_value(value) for value in values]
@@ -53,15 +60,20 @@ def is_vector(values: Any) -> bool:
 
 
 def _python_elements(values: Any) -> Any:
-    """Detach a typed array into Python values for per-element evaluation;
-    lists and object arrays already hold Python objects and pass through."""
+    """Detach a typed array / vector into Python values for per-element
+    evaluation; lists and object arrays already hold Python objects and pass
+    through."""
+    if isinstance(values, Vector):
+        return values.to_list()
     if isinstance(values, np.ndarray) and values.dtype != object:
         return values.tolist()
     return values
 
 
 def take_values(values: Any, indices: Any) -> Any:
-    """Gather ``values`` at ``indices`` (fancy indexing for arrays)."""
+    """Gather ``values`` at ``indices`` (fancy indexing for arrays/vectors)."""
+    if isinstance(values, Vector):
+        return values.take(indices)
     if isinstance(values, np.ndarray):
         return values[np.asarray(indices, dtype=np.intp)]
     return [values[index] for index in indices]
@@ -237,6 +249,12 @@ def _int_arith_may_overflow(op: str, left: Any, right: Any) -> bool:
     return left_mag + right_mag >= 2 ** 63
 
 
+#: Comparison spelled from the other operand's point of view (a op b == b op' a).
+_SWAPPED_COMPARE = {
+    "=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+
 def _numeric_result_type(left: SQLType | None, right: SQLType | None, op: str) -> SQLType:
     if op == "/":
         return SQLType.DOUBLE
@@ -276,6 +294,11 @@ class ExpressionEvaluator:
         """
         result = self.evaluate(expression)
         values = result.broadcast(self.batch.row_count)
+        if isinstance(values, Vector) and values.dictionary is None:
+            data = values.data if values.data.dtype == np.bool_ else values.data == 1
+            if values.mask is not None:
+                data = data & ~values.mask  # NULL is not true
+            return data
         if isinstance(values, np.ndarray) and values.dtype != object:
             if values.dtype == np.bool_:
                 return values
@@ -310,6 +333,13 @@ class ExpressionEvaluator:
             if is_vector(operand.values) and operand.values.dtype != np.bool_ \
                     and not _int_arith_may_overflow("-", 0, operand.values):
                 return EvalResult(-operand.values, operand.constant, operand.sql_type)
+            if isinstance(operand.values, Vector) \
+                    and operand.values.dictionary is None \
+                    and operand.values.data.dtype != np.bool_ \
+                    and not _int_arith_may_overflow("-", 0, operand.values.data):
+                negated = Vector(-operand.values.data, operand.values.mask,
+                                 None, operand.values.sql_type)
+                return EvalResult(negated, operand.constant, operand.sql_type)
             values = [None if v is None else -v
                       for v in _python_elements(operand.values)]
             return EvalResult(values, operand.constant, operand.sql_type)
@@ -317,6 +347,12 @@ class ExpressionEvaluator:
             if is_vector(operand.values):
                 return EvalResult(~operand.values.astype(np.bool_),
                                   operand.constant, SQLType.BOOLEAN)
+            if isinstance(operand.values, Vector) \
+                    and operand.values.dictionary is None:
+                inverted = Vector(
+                    ~self._as_bool_array(operand.values.data),
+                    operand.values.mask, None, SQLType.BOOLEAN)
+                return EvalResult(inverted, operand.constant, SQLType.BOOLEAN)
             values = [None if v is None else (not bool(v)) for v in operand.values]
             return EvalResult(values, operand.constant, SQLType.BOOLEAN)
         raise ExecutionError(f"unsupported unary operator {node.op!r}")
@@ -368,45 +404,176 @@ class ExpressionEvaluator:
 
     def _vector_binary(self, op: str, left: EvalResult, right: EvalResult,
                        constant: bool) -> EvalResult | None:
-        """Whole-array kernel for NULL-free numeric operands; None = fall back."""
-        left_operand = self._vector_operand(left)
-        right_operand = self._vector_operand(right)
-        if left_operand is None or right_operand is None:
+        """Whole-array kernel over arrays, masked vectors and dictionary
+        vectors; ``None`` = fall back to the per-element tier.
+
+        NULLs propagate by mask union (Kleene logic for AND/OR); string
+        equality/ordering against a constant or another dictionary vector
+        runs on the dictionary codes.
+        """
+        lk = self._kernel_operand(left, allow_strings=True)
+        rk = self._kernel_operand(right, allow_strings=True)
+        if lk is None or rk is None:
             return None
-        if not (isinstance(left_operand, np.ndarray)
-                or isinstance(right_operand, np.ndarray)):
+        l_data, l_mask, l_dict = lk
+        r_data, r_mask, r_dict = rk
+        l_is_array = isinstance(l_data, np.ndarray)
+        r_is_array = isinstance(r_data, np.ndarray)
+        if not (l_is_array or r_is_array):
             return None  # two scalar constants: the generic path is cheap
+        length = len(l_data) if l_is_array else len(r_data)
 
         if op in self._COMPARE_UFUNCS:
-            values = self._COMPARE_UFUNCS[op](left_operand, right_operand)
-            return EvalResult(np.asarray(values), constant, SQLType.BOOLEAN)
+            return self._vector_compare(op, lk, rk, length, constant)
         if op in ("AND", "OR"):
-            lb = self._as_bool_array(left_operand)
-            rb = self._as_bool_array(right_operand)
+            return self._vector_logical(op, lk, rk, length, constant)
+        if op in self._ARITH_UFUNCS:
+            if l_dict is not None or r_dict is not None \
+                    or isinstance(l_data, str) or isinstance(r_data, str):
+                return None  # string arithmetic: per-element errors apply
+            return self._vector_arith(op, left, right, lk, rk, length, constant)
+        return None  # e.g. '||' — concatenation stays on the Python tier
+
+    def _vector_compare(self, op: str, lk: tuple, rk: tuple, length: int,
+                        constant: bool) -> EvalResult | None:
+        l_data, l_mask, l_dict = lk
+        r_data, r_mask, r_dict = rk
+        if l_data is None or r_data is None:  # NULL literal operand
+            return self._all_null_result(length, SQLType.BOOLEAN, constant)
+        if l_dict is not None and r_dict is not None:
+            # two dictionary vectors: remap into one shared *sorted* space —
+            # code order is string order, so every comparison works on codes
+            l_codes, r_codes = remap_to_shared_dictionary(
+                Vector(l_data, l_mask, l_dict), Vector(r_data, r_mask, r_dict))
+            data = self._COMPARE_UFUNCS[op](l_codes, r_codes)
+        elif l_dict is not None or r_dict is not None:
+            if l_dict is not None:
+                codes, mask, dictionary, other = l_data, l_mask, l_dict, r_data
+                ufunc_op = op
+            else:
+                codes, mask, dictionary, other = r_data, r_mask, r_dict, l_data
+                ufunc_op = _SWAPPED_COMPARE[op]
+            if not isinstance(other, str):
+                return None  # string vs non-string: per-element semantics
+            # evaluate the comparison once per dictionary entry, then gather
+            entries = np.fromiter(
+                (self._compare(ufunc_op, entry, other)
+                 for entry in dictionary.tolist()),
+                dtype=bool, count=len(dictionary))
+            safe_codes = codes if mask is None else np.where(mask, 0, codes)
+            if len(entries):
+                data = entries[safe_codes]
+            else:
+                data = np.zeros(length, dtype=np.bool_)
+        else:
+            if isinstance(l_data, str) or isinstance(r_data, str):
+                return None  # string vs numeric array: per-element semantics
+            data = self._COMPARE_UFUNCS[op](l_data, r_data)
+        mask_out = combine_masks(l_mask, r_mask)
+        return self._masked_result(np.asarray(data), mask_out,
+                                   SQLType.BOOLEAN, constant)
+
+    def _vector_logical(self, op: str, lk: tuple, rk: tuple, length: int,
+                        constant: bool) -> EvalResult | None:
+        l_data, l_mask, l_dict = lk
+        r_data, r_mask, r_dict = rk
+        if l_dict is not None or r_dict is not None \
+                or isinstance(l_data, str) or isinstance(r_data, str):
+            return None
+        # a NULL literal behaves as an all-NULL operand in Kleene logic
+        if l_data is None:
+            l_data, l_mask = False, np.ones(length, dtype=np.bool_)
+        if r_data is None:
+            r_data, r_mask = False, np.ones(length, dtype=np.bool_)
+        lb = self._as_bool_array(l_data)
+        rb = self._as_bool_array(r_data)
+        if l_mask is None and r_mask is None:
             combine = np.logical_and if op == "AND" else np.logical_or
             return EvalResult(np.asarray(combine(lb, rb)), constant, SQLType.BOOLEAN)
-        if op in self._ARITH_UFUNCS:
-            left_num = self._as_numeric_array(left_operand)
-            right_num = self._as_numeric_array(right_operand)
-            if op in ("/", "%") and np.any(right_num == 0):
+        # Python bools must become numpy bools: ``~False`` is the *integer*
+        # -1, which would poison the known_true/known_false masks below
+        if not isinstance(lb, np.ndarray):
+            lb = np.bool_(lb)
+        if not isinstance(rb, np.ndarray):
+            rb = np.bool_(rb)
+        l_true = lb if l_mask is None else lb & ~l_mask
+        l_false = ~lb if l_mask is None else ~lb & ~l_mask
+        r_true = rb if r_mask is None else rb & ~r_mask
+        r_false = ~rb if r_mask is None else ~rb & ~r_mask
+        if op == "AND":
+            known_true = np.asarray(l_true & r_true)
+            known_false = np.asarray(l_false | r_false)
+        else:
+            known_true = np.asarray(l_true | r_true)
+            known_false = np.asarray(l_false & r_false)
+        mask_out = ~(known_true | known_false)
+        return self._masked_result(known_true, mask_out, SQLType.BOOLEAN, constant)
+
+    def _vector_arith(self, op: str, left: EvalResult, right: EvalResult,
+                      lk: tuple, rk: tuple, length: int,
+                      constant: bool) -> EvalResult | None:
+        l_data, l_mask, _ = lk
+        r_data, r_mask, _ = rk
+        sql_type = _numeric_result_type(left.sql_type, right.sql_type, op)
+        if l_data is None or r_data is None:  # NULL literal operand
+            return self._all_null_result(length, sql_type, constant)
+        left_num = self._as_numeric_array(l_data)
+        right_num = self._as_numeric_array(r_data)
+        mask_out = combine_masks(l_mask, r_mask)
+        if op in ("/", "%"):
+            divisor = right_num
+            if mask_out is not None and isinstance(divisor, np.ndarray):
+                # a zero divisor on a NULL row produces NULL, not an error
+                divisor = np.where(mask_out, 1, divisor)
+            elif mask_out is not None and divisor == 0:
+                if bool(mask_out.all()):
+                    divisor = 1  # every row is NULL: nothing is divided
+            if np.any(np.asarray(divisor) == 0):
                 raise ExecutionError(
                     "division by zero" if op == "/" else "modulo by zero")
-            if _int_arith_may_overflow(op, left_num, right_num):
-                return None  # Python ints are unbounded; int64 would wrap
-            values = self._ARITH_UFUNCS[op](left_num, right_num)
-            sql_type = _numeric_result_type(left.sql_type, right.sql_type, op)
-            return EvalResult(np.asarray(values), constant, sql_type)
-        return None  # e.g. '||' — string columns never reach the vector path
+            right_num = divisor
+        if _int_arith_may_overflow(op, left_num, right_num):
+            return None  # Python ints are unbounded; int64 would wrap
+        values = self._ARITH_UFUNCS[op](left_num, right_num)
+        return self._masked_result(np.asarray(values), mask_out, sql_type, constant)
 
     @staticmethod
-    def _vector_operand(result: EvalResult) -> Any | None:
-        """An ndarray or numeric scalar usable in a numpy kernel, else None."""
-        if is_vector(result.values):
-            return result.values
-        if result.constant and len(result.values) == 1:
-            value = result.values[0]
+    def _masked_result(data: np.ndarray, mask: np.ndarray | None,
+                       sql_type: SQLType, constant: bool) -> EvalResult:
+        if mask is None or not mask.any():
+            return EvalResult(data, constant, sql_type)
+        return EvalResult(Vector(data, mask, None, sql_type), constant, sql_type)
+
+    @staticmethod
+    def _all_null_result(length: int, sql_type: SQLType,
+                         constant: bool) -> EvalResult:
+        dtype = np.bool_ if sql_type is SQLType.BOOLEAN else np.float64
+        vector = Vector(np.zeros(length, dtype=dtype),
+                        np.ones(length, dtype=np.bool_), None, sql_type)
+        return EvalResult(vector, constant, sql_type)
+
+    @staticmethod
+    def _kernel_operand(result: EvalResult, *, allow_strings: bool = False
+                        ) -> tuple[Any, np.ndarray | None, np.ndarray | None] | None:
+        """Normalise an operand to ``(data, mask, dictionary)`` for a kernel.
+
+        ``data`` is an ndarray (typed values or dictionary codes), a Python
+        scalar, or ``None`` for a NULL literal.  Returns ``None`` (no tuple)
+        when the operand cannot participate in a vector kernel.
+        """
+        values = result.values
+        if isinstance(values, Vector):
+            return values.data, values.mask, values.dictionary
+        if is_vector(values):
+            return values, None, None
+        if result.constant and len(values) == 1:
+            value = values[0]
+            if value is None:
+                return None, None, None
             if isinstance(value, bool) or isinstance(value, (int, float)):
-                return value
+                return value, None, None
+            if allow_strings and isinstance(value, str):
+                return value, None, None
         return None
 
     @staticmethod
@@ -487,6 +654,14 @@ class ExpressionEvaluator:
     # ------------------------------------------------------------------ #
     def _eval_IsNull(self, node: ast.IsNull) -> EvalResult:
         operand = self.evaluate(node.operand)
+        if isinstance(operand.values, Vector):
+            # the validity mask *is* the IS NULL answer
+            vector = operand.values
+            if vector.mask is None:
+                values = np.full(len(vector), node.negated, dtype=np.bool_)
+            else:
+                values = ~vector.mask if node.negated else vector.mask.copy()
+            return EvalResult(values, operand.constant, SQLType.BOOLEAN)
         if is_vector(operand.values):
             # a non-object array cannot contain NULLs
             values = np.full(len(operand.values), node.negated, dtype=np.bool_)
@@ -525,13 +700,16 @@ class ExpressionEvaluator:
         operand = self.evaluate(node.operand)
         lower = self.evaluate(node.lower)
         upper = self.evaluate(node.upper)
-        vector_args = [self._vector_operand(r) for r in (operand, lower, upper)]
-        if all(arg is not None for arg in vector_args) and any(
-                isinstance(arg, np.ndarray) for arg in vector_args):
-            value_arr, low_arr, high_arr = vector_args
+        kernel_args = [self._kernel_operand(r) for r in (operand, lower, upper)]
+        if all(arg is not None for arg in kernel_args) and any(
+                isinstance(arg[0], np.ndarray) for arg in kernel_args) and all(
+                arg[0] is not None and arg[2] is None for arg in kernel_args):
+            (value_arr, value_mask, _), (low_arr, low_mask, _), \
+                (high_arr, high_mask, _) = kernel_args
             inside = np.logical_and(low_arr <= value_arr, value_arr <= high_arr)
-            return EvalResult(np.asarray(inside != node.negated), constant=False,
-                              sql_type=SQLType.BOOLEAN)
+            mask_out = combine_masks(value_mask, low_mask, high_mask)
+            return self._masked_result(np.asarray(inside != node.negated),
+                                       mask_out, SQLType.BOOLEAN, constant=False)
         length = max(len(operand), len(lower), len(upper))
         ov = operand.broadcast(length)
         lv = lower.broadcast(length)
@@ -548,6 +726,24 @@ class ExpressionEvaluator:
     def _eval_Like(self, node: ast.Like) -> EvalResult:
         operand = self.evaluate(node.operand)
         pattern = self.evaluate(node.pattern)
+        if (isinstance(operand.values, Vector) and operand.values.is_dict
+                and pattern.constant and len(pattern.values) == 1
+                and isinstance(pattern.values[0], str)):
+            # match each *distinct* string once, then gather by code
+            vector = operand.values
+            regex = _like_to_regex(pattern.values[0])
+            entries = np.fromiter(
+                (bool(regex.match(str(entry))) != node.negated
+                 for entry in vector.dictionary.tolist()),
+                dtype=bool, count=len(vector.dictionary))
+            codes = vector.data if vector.mask is None else \
+                np.where(vector.mask, 0, vector.data)
+            if len(entries):
+                data = entries[codes]
+            else:
+                data = np.zeros(len(vector), dtype=np.bool_)
+            return self._masked_result(data, vector.mask, SQLType.BOOLEAN,
+                                       operand.constant)
         length = max(len(operand), len(pattern))
         ov = operand.broadcast(length)
         pv = pattern.broadcast(length)
@@ -593,7 +789,16 @@ class ExpressionEvaluator:
                 and operand.values.dtype.kind in "bif":
             return EvalResult(operand.values.astype(np.float64),
                               operand.constant, node.target_type)
-        values = [coerce_value(value, node.target_type) for value in operand.values]
+        if isinstance(operand.values, Vector) \
+                and operand.values.dictionary is None \
+                and node.target_type.is_floating \
+                and operand.values.data.dtype.kind in "bif":
+            vector = operand.values
+            cast = Vector(vector.data.astype(np.float64), vector.mask,
+                          None, node.target_type)
+            return EvalResult(cast, operand.constant, node.target_type)
+        values = [coerce_value(value, node.target_type)
+                  for value in _python_elements(operand.values)]
         return EvalResult(values, operand.constant, node.target_type)
 
     # ------------------------------------------------------------------ #

@@ -8,6 +8,7 @@ import numpy as np
 
 from .storage import arrays_to_values, column_to_numpy, values_to_arrays
 from .types import SQLType, infer_sql_type
+from .vector import Vector
 
 
 class ResultColumn:
@@ -15,26 +16,31 @@ class ResultColumn:
 
     The column can be backed by a plain Python value list, by a numpy array
     plus optional null mask (the shape produced by the vectorised executor
-    and by the columnar wire decoder), or by a deferred loader that yields
-    either of those on first touch.  Consumers observe plain Python values:
-    ``values`` materialises lazily, so a client that only ever re-exports the
-    buffers (or hands them to numpy code) never pays for Python object
-    creation — the lazy-decode half of the columnar protocol.
+    and by the columnar wire decoder), by a :class:`Vector` (typed values +
+    validity mask + optional string dictionary — the engine's unified vector
+    representation), or by a deferred loader that yields any of those on
+    first touch.  Consumers observe plain Python values: ``values``
+    materialises lazily, so a client that only ever re-exports the buffers
+    (or hands them to numpy code) never pays for Python object creation —
+    the lazy-decode half of the columnar protocol.
     """
 
-    __slots__ = ("name", "sql_type", "_values", "_array", "_mask", "_loader",
-                 "_length")
+    __slots__ = ("name", "sql_type", "_values", "_array", "_mask", "_vector",
+                 "_loader", "_length")
 
     def __init__(self, name: str, sql_type: SQLType,
-                 values: Sequence[Any] | np.ndarray | None = None) -> None:
+                 values: Sequence[Any] | np.ndarray | Vector | None = None) -> None:
         self.name = name
         self.sql_type = sql_type
         self._values: list[Any] | None = None
         self._array: np.ndarray | None = None
         self._mask: np.ndarray | None = None
+        self._vector: Vector | None = None
         self._loader: Callable[[], tuple[Any, np.ndarray | None]] | None = None
         self._length: int | None = None
-        if isinstance(values, np.ndarray):
+        if isinstance(values, Vector):
+            self._vector = values
+        elif isinstance(values, np.ndarray):
             if values.dtype == object:
                 # object arrays may hide numpy scalars or Nones; normalise now
                 self._values = values.tolist()
@@ -61,11 +67,17 @@ class ResultColumn:
         return column
 
     @classmethod
+    def from_vector(cls, name: str, sql_type: SQLType,
+                    vector: Vector) -> "ResultColumn":
+        """Build a column over a :class:`Vector`, zero-copy."""
+        return cls(name, sql_type, vector)
+
+    @classmethod
     def lazy(cls, name: str, sql_type: SQLType, length: int,
              loader: Callable[[], tuple[Any, np.ndarray | None]]) -> "ResultColumn":
         """Build a column whose ``(data, mask)`` pair is produced on first use.
 
-        ``loader`` returns either ``(ndarray, mask-or-None)`` or
+        ``loader`` returns ``(ndarray, mask-or-None)``, ``(Vector, None)`` or
         ``(list-with-Nones, None)``; it runs at most once.
         """
         column = cls(name, sql_type, None)
@@ -78,7 +90,9 @@ class ResultColumn:
         if self._loader is not None:
             data, mask = self._loader()
             self._loader = None
-            if isinstance(data, np.ndarray) and data.dtype != object:
+            if isinstance(data, Vector):
+                self._vector = data
+            elif isinstance(data, np.ndarray) and data.dtype != object:
                 self._array = data
                 self._mask = mask if mask is not None and mask.any() else None
             else:
@@ -90,7 +104,10 @@ class ResultColumn:
         if self._values is None:
             self._load()
             if self._values is None:
-                self._values = arrays_to_values(self._array, self._mask)
+                if self._vector is not None:
+                    self._values = self._vector.to_list()
+                else:
+                    self._values = arrays_to_values(self._array, self._mask)
         return self._values
 
     @property
@@ -99,8 +116,31 @@ class ResultColumn:
         return self._values is not None
 
     def null_mask(self) -> np.ndarray | None:
-        """The null mask of the backing buffer, if the column is array-backed."""
+        """The null mask of the backing buffer, if the column is buffer-backed."""
+        if self._vector is not None:
+            return self._vector.mask
         return self._mask
+
+    def vector(self) -> Vector | None:
+        """The backing :class:`Vector`, if any (loads a lazy column first)."""
+        self._load()
+        return self._vector
+
+    def dict_vector(self) -> Vector | None:
+        """The backing vector if it is dictionary-encoded (wire fast path)."""
+        vector = self.vector()
+        return vector if vector is not None and vector.is_dict else None
+
+    def batch_values(self) -> Any:
+        """The best available backing for re-use as executor batch data."""
+        self._load()
+        if self._vector is not None:
+            return self._vector
+        if self._values is None and self._array is not None:
+            if self._mask is None:
+                return self._array
+            return Vector(self._array, self._mask, None, self.sql_type)
+        return list(self.values)
 
     def buffer_arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
         """Export as a ``(data, null mask)`` pair for the columnar wire format.
@@ -110,6 +150,8 @@ class ResultColumn:
         (the wire encoder falls back to the object codec in that case).
         """
         self._load()
+        if self._values is None and self._vector is not None:
+            return self._vector.buffer_arrays()
         if self._values is None and self._array is not None:
             return self._array, self._mask
         return values_to_arrays(self._values, self.sql_type)
@@ -117,6 +159,8 @@ class ResultColumn:
     def to_numpy(self) -> np.ndarray:
         if self._values is None:
             self._load()
+        if self._values is None and self._vector is not None:
+            return self._vector.to_numpy()
         if self._values is None and self._array is not None:
             if self._mask is None:
                 return self._array
@@ -128,6 +172,8 @@ class ResultColumn:
     def __len__(self) -> int:
         if self._values is not None:
             return len(self._values)
+        if self._vector is not None:
+            return len(self._vector)
         if self._array is not None:
             return len(self._array)
         if self._length is not None:
@@ -142,7 +188,8 @@ class ResultColumn:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         backing = "values" if self._values is not None else (
-            "array" if self._array is not None else "lazy")
+            "vector" if self._vector is not None else (
+                "array" if self._array is not None else "lazy"))
         return (f"ResultColumn({self.name!r}, {self.sql_type}, "
                 f"len={len(self)}, backing={backing})")
 

@@ -2,9 +2,26 @@
 
 Tables are stored column-at-a-time (MonetDB's BAT layout, simplified): each
 column is a Python list, NULLs are ``None``.  Every column additionally keeps
-a cached numpy materialisation with dirty-bit invalidation: scans and UDF
-handoffs reuse the same array until the column is mutated, mirroring
+cached vectorised materialisations with dirty-bit invalidation: scans and UDF
+handoffs reuse the same buffers until the column is mutated, mirroring
 MonetDB/Python's zero-copy handoff instead of re-converting per query.
+
+Two cached scan shapes exist per column:
+
+* :meth:`Column.to_numpy` — the UDF handoff format (typed array, or an
+  object array holding ``None`` for NULL-bearing / string columns).
+* :meth:`Column.scan_values` — the executor's batch format: NULL-free
+  numeric columns stay plain typed arrays; NULL-bearing numeric columns and
+  STRING columns become a :class:`repro.sqldb.vector.Vector` (contiguous
+  typed values + boolean validity mask + optional sorted string dictionary
+  with ``int64`` codes), which is what keeps filters, joins, GROUP BY and
+  aggregates vectorised on exactly the columns that previously fell back to
+  object arrays.
+
+The ``(data array, null mask)`` buffer-pair exporters at the bottom are the
+wire-format shape; the mask — never the ``_NULL_FILL`` placeholder written
+into the data buffer — is the only source of truth for NULLs, so values that
+happen to equal a placeholder (``""``, ``0``, ``False``) round-trip intact.
 """
 
 from __future__ import annotations
@@ -17,6 +34,7 @@ import numpy as np
 from ..errors import CatalogError, ExecutionError
 from .schema import ColumnDef, TableSchema
 from .types import NUMPY_DTYPES, SQLType, coerce_value
+from .vector import NULL_FILL, Vector
 
 
 @dataclass
@@ -26,6 +44,8 @@ class Column:
     definition: ColumnDef
     values: list[Any] = field(default_factory=list)
     _array_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _vector_cache: Vector | None = field(
         default=None, init=False, repr=False, compare=False)
 
     @property
@@ -38,16 +58,17 @@ class Column:
 
     def append(self, value: Any) -> None:
         self.values.append(coerce_value(value, self.sql_type))
-        self._array_cache = None
+        self.mark_dirty()
 
     def extend(self, values: Iterable[Any]) -> None:
         sql_type = self.sql_type
         self.values.extend(coerce_value(value, sql_type) for value in values)
-        self._array_cache = None
+        self.mark_dirty()
 
     def mark_dirty(self) -> None:
-        """Invalidate the cached array after an in-place mutation of values."""
+        """Invalidate the cached scans after an in-place mutation of values."""
         self._array_cache = None
+        self._vector_cache = None
 
     def to_numpy(self) -> np.ndarray:
         """Materialise this column as a numpy array (the UDF input format).
@@ -63,6 +84,38 @@ class Column:
             array.setflags(write=False)
             self._array_cache = array
         return self._array_cache
+
+    def to_vector(self) -> Vector:
+        """Materialise this column as a :class:`Vector` (cached, read-only)."""
+        if self._vector_cache is None:
+            vector = Vector.from_values(self.values, self.sql_type)
+            vector.data.setflags(write=False)
+            if vector.mask is not None:
+                vector.mask.setflags(write=False)
+            self._vector_cache = vector
+        return self._vector_cache
+
+    def scan_values(self) -> Any:
+        """The batch representation the executor scans.
+
+        NULL-free numeric/boolean columns stay the cached typed array (the
+        PR 1 zero-copy format); STRING columns and NULL-bearing numeric
+        columns become a cached :class:`Vector`; BLOB columns keep the
+        object-array format.
+        """
+        sql_type = self.sql_type
+        if sql_type is SQLType.BLOB:
+            return self.to_numpy()
+        if sql_type is SQLType.STRING:
+            return self.to_vector()
+        # a live cache settles the NULL-free question without rescanning
+        if self._vector_cache is not None:
+            return self._vector_cache
+        if self._array_cache is not None and self._array_cache.dtype != object:
+            return self._array_cache
+        if any(value is None for value in self.values):
+            return self.to_vector()
+        return self.to_numpy()
 
     def __len__(self) -> int:
         return len(self.values)
@@ -88,16 +141,9 @@ def column_to_numpy(values: Sequence[Any], sql_type: SQLType) -> np.ndarray:
 
 
 #: NULL placeholder stored in the value buffer at masked positions (the
-#: null bitmap, not the placeholder, is authoritative).
-_NULL_FILL = {
-    SQLType.INTEGER: 0,
-    SQLType.BIGINT: 0,
-    SQLType.DOUBLE: 0.0,
-    SQLType.REAL: 0.0,
-    SQLType.BOOLEAN: False,
-    SQLType.STRING: "",
-    SQLType.BLOB: b"",
-}
+#: null bitmap, not the placeholder, is authoritative).  One table shared
+#: with the vector representation so scan and wire formats cannot diverge.
+_NULL_FILL = NULL_FILL
 
 
 def values_to_arrays(values: Sequence[Any],

@@ -19,6 +19,7 @@ from ..errors import UDFError
 from .schema import FunctionSignature
 from .storage import column_to_numpy
 from .types import SQLType, coerce_value
+from .vector import Vector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -99,7 +100,11 @@ def columns_to_udf_args(
     converted: list[Any] = []
     for value, is_column, sql_type in zip(arg_values, arg_is_column, sql_types):
         if is_column:
-            if isinstance(value, np.ndarray):
+            if isinstance(value, Vector):
+                # same observable shapes as column_to_numpy: object array
+                # with Nones for NULL-bearing/string columns, typed otherwise
+                array = value.to_numpy().view()
+            elif isinstance(value, np.ndarray):
                 array = value.view()
             else:
                 array = column_to_numpy(value, sql_type)

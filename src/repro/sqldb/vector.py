@@ -1,0 +1,260 @@
+"""The unified vector representation flowing through the engine.
+
+A :class:`Vector` is the single currency for nullable and string column data
+on the vectorised path: a contiguous typed ``data`` array, an optional
+boolean validity ``mask`` (``True`` marks a SQL NULL; the mask — never a
+placeholder value in ``data`` — is the *only* source of truth for NULLs),
+and, for STRING columns, an optional dictionary encoding: ``data`` holds
+``int64`` codes indexing a sorted unique-value ``dictionary`` table.
+
+Because ``np.unique`` produces the dictionary in sorted order, code order
+*is* lexicographic string order: equality, ordering comparisons, MIN/MAX and
+GROUP BY on strings all run as integer kernels over the codes.  NULL rows
+carry code ``-1`` purely as a debugging aid — every consumer must (and does)
+consult ``mask`` instead of inspecting codes or placeholder values, which is
+what keeps values equal to a NULL placeholder (``""``, ``0``, ``False``)
+representable.
+
+NULL-free numeric columns deliberately stay plain ``np.ndarray``s (the PR 1
+zero-copy scan format); a ``Vector`` only appears where the engine previously
+fell back to object arrays — NULL-bearing columns and strings — which is how
+SUM/COUNT/joins/GROUP BY stay vectorised on exactly the inputs that used to
+punt to the Python tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from .types import NUMPY_DTYPES, SQLType
+
+#: Code stored at NULL positions of a dictionary vector (debugging aid only;
+#: the validity mask is authoritative).
+NULL_CODE = -1
+
+#: Placeholder stored in the data buffer at masked positions (never read back:
+#: the validity mask is the only source of truth for NULLs).
+NULL_FILL = {
+    SQLType.INTEGER: 0,
+    SQLType.BIGINT: 0,
+    SQLType.DOUBLE: 0.0,
+    SQLType.REAL: 0.0,
+    SQLType.BOOLEAN: False,
+    SQLType.STRING: "",
+    SQLType.BLOB: b"",
+}
+
+
+def combine_masks(*masks: np.ndarray | None) -> np.ndarray | None:
+    """Union several validity masks (None means "no NULLs")."""
+    present = [mask for mask in masks if mask is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    out = present[0] | present[1]
+    for mask in present[2:]:
+        out = out | mask
+    return out
+
+
+class Vector:
+    """One column of data: typed values + validity mask + optional dictionary.
+
+    ``data``
+        For plain vectors: a typed value array (``int64``/``float64``/
+        ``bool``); entries at masked positions hold an arbitrary placeholder.
+        For dictionary vectors: an ``int64`` code array indexing
+        ``dictionary`` (``NULL_CODE`` at masked positions).
+    ``mask``
+        Boolean validity mask, ``True`` = NULL; ``None`` when NULL-free.
+    ``dictionary``
+        Sorted unique-value table (object ndarray) or ``None``.
+    """
+
+    __slots__ = ("data", "mask", "dictionary", "sql_type", "_objects")
+
+    def __init__(self, data: np.ndarray, mask: np.ndarray | None = None,
+                 dictionary: np.ndarray | None = None,
+                 sql_type: SQLType = SQLType.STRING) -> None:
+        self.data = data
+        self.mask = mask if mask is not None and mask.any() else None
+        self.dictionary = dictionary
+        self.sql_type = sql_type
+        self._objects: np.ndarray | None = None  # cached UDF-format array
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, values: Sequence[Any], sql_type: SQLType) -> "Vector":
+        """Build a vector from a plain Python value list (Nones = NULLs)."""
+        count = len(values)
+        if any(value is None for value in values):
+            mask = np.fromiter((value is None for value in values),
+                               dtype=bool, count=count)
+        else:
+            mask = None
+        if sql_type is SQLType.STRING:
+            fill = NULL_FILL[sql_type]
+            table = np.empty(count, dtype=object)
+            for index, value in enumerate(values):
+                table[index] = fill if value is None else value
+            if count:
+                dictionary, codes = np.unique(table, return_inverse=True)
+                codes = codes.astype(np.int64, copy=False)
+            else:
+                dictionary = np.empty(0, dtype=object)
+                codes = np.empty(0, dtype=np.int64)
+            if mask is not None:
+                codes[mask] = NULL_CODE
+            return cls(codes, mask, dictionary, sql_type)
+        dtype = NUMPY_DTYPES[sql_type]
+        if mask is None:
+            data = np.array(list(values), dtype=dtype)
+        else:
+            fill = NULL_FILL[sql_type]
+            data = np.array([fill if value is None else value
+                             for value in values], dtype=dtype)
+        return cls(data, mask, None, sql_type)
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, dictionary: np.ndarray,
+                   mask: np.ndarray | None = None,
+                   sql_type: SQLType = SQLType.STRING) -> "Vector":
+        """Wrap an existing (codes, dictionary, mask) triple."""
+        return cls(np.asarray(codes, dtype=np.int64), mask,
+                   np.asarray(dictionary, dtype=object), sql_type)
+
+    # ------------------------------------------------------------------ #
+    # shape / predicates
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def is_dict(self) -> bool:
+        return self.dictionary is not None
+
+    def null_count(self) -> int:
+        return int(np.count_nonzero(self.mask)) if self.mask is not None else 0
+
+    def valid(self) -> np.ndarray:
+        """Validity as a boolean array (True = value present)."""
+        if self.mask is None:
+            return np.ones(len(self.data), dtype=bool)
+        return ~self.mask
+
+    # ------------------------------------------------------------------ #
+    # element access (Python-tier fallbacks index vectors directly)
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, index: int) -> Any:
+        if self.mask is not None and self.mask[index]:
+            return None
+        if self.dictionary is not None:
+            return self.dictionary[self.data[index]]
+        value = self.data[index]
+        return value.item() if isinstance(value, np.generic) else value
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.to_list())
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def decoded(self) -> np.ndarray:
+        """The value array with dictionary codes resolved.
+
+        Masked positions hold placeholders — callers must consult ``mask``.
+        """
+        if self.dictionary is None:
+            return self.data
+        if len(self.dictionary):
+            codes = self.data if self.mask is None else \
+                np.where(self.mask, 0, self.data)
+            return self.dictionary[codes]
+        return np.full(len(self.data), NULL_FILL[self.sql_type], dtype=object)
+
+    def to_list(self) -> list[Any]:
+        """Plain Python values, ``None`` at masked positions."""
+        values = self.decoded().tolist()
+        if self.mask is not None:
+            for index in np.flatnonzero(self.mask):
+                values[index] = None
+        return values
+
+    def to_numpy(self) -> np.ndarray:
+        """The UDF handoff format (matches ``column_to_numpy`` exactly):
+        NULL-bearing columns become object arrays holding ``None``; NULL-free
+        strings become object arrays; NULL-free numerics stay typed (shared,
+        read-only).  The result is cached on the vector.
+        """
+        if self._objects is None:
+            if self.mask is None and self.dictionary is None:
+                array = self.data
+            elif self.mask is None:
+                array = self.decoded().copy()
+            else:
+                array = np.empty(len(self.data), dtype=object)
+                array[:] = self.to_list()
+            array.setflags(write=False)
+            self._objects = array
+        return self._objects
+
+    def buffer_arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Export as the wire-format ``(data array, null mask)`` pair."""
+        if self.dictionary is None:
+            return self.data, self.mask
+        decoded = self.decoded()
+        if self.mask is not None:
+            decoded = decoded.copy()
+            decoded[self.mask] = NULL_FILL[self.sql_type]
+        return decoded, self.mask
+
+    # ------------------------------------------------------------------ #
+    # row operations
+    # ------------------------------------------------------------------ #
+    def take(self, indices: Any) -> "Vector":
+        """Gather rows at ``indices`` (fancy indexing)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        mask = self.mask[idx] if self.mask is not None else None
+        return Vector(self.data[idx], mask, self.dictionary, self.sql_type)
+
+
+def vector_parts(values: Any) -> tuple[np.ndarray, np.ndarray | None,
+                                       np.ndarray | None] | None:
+    """Normalise column data to ``(data, mask, dictionary)``; None = no kernel."""
+    if isinstance(values, Vector):
+        return values.data, values.mask, values.dictionary
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return values, None, None
+    return None
+
+
+def remap_to_shared_dictionary(left: Vector, right: Vector
+                               ) -> tuple[np.ndarray, np.ndarray]:
+    """Translate two dictionary vectors' codes into one shared sorted space.
+
+    Because the shared dictionary is sorted, comparing remapped codes is
+    equivalent to comparing the underlying strings (including ordering).
+    Masked positions keep arbitrary codes — consult the vectors' masks.
+    """
+    combined = np.concatenate([left.dictionary, right.dictionary])
+    _, inverse = np.unique(combined, return_inverse=True)
+    left_map = inverse[:len(left.dictionary)]
+    right_map = inverse[len(left.dictionary):]
+    left_codes = left.data if left.mask is None else \
+        np.where(left.mask, 0, left.data)
+    right_codes = right.data if right.mask is None else \
+        np.where(right.mask, 0, right.data)
+    if len(left_map):
+        left_shared = left_map[left_codes]
+    else:
+        left_shared = np.empty(0, dtype=np.int64)
+    if len(right_map):
+        right_shared = right_map[right_codes]
+    else:
+        right_shared = np.empty(0, dtype=np.int64)
+    return left_shared, right_shared
