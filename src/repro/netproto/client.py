@@ -316,6 +316,7 @@ class ResultStream:
             self.statement_type = result.statement_type
             self.affected_rows = result.affected_rows
             self.row_count = result.row_count
+            self.streamed = False
             self._result = result
             self.transfer = transfer or TransferStats()
             self._finalised = True
@@ -326,7 +327,10 @@ class ResultStream:
                                  for meta in header.get("columns", [])]
             self.statement_type = str(header.get("statement_type", "SELECT"))
             self.affected_rows = int(header.get("affected_rows", 0))
+            #: ``-1`` until a streamed (v4) result finishes: the server
+            #: starts shipping chunks before it knows the total row count.
             self.row_count = int(header.get("row_count", 0))
+            self.streamed = bool(header.get("streamed"))
 
     # -- progress (used by tests and monitoring) ------------------------- #
     @property
@@ -350,20 +354,41 @@ class ResultStream:
         the transport never desyncs (mirrors the pre-stream behaviour)."""
         assembler = self._assembler
         assert assembler is not None
+        stream_ended = False
         try:
             chunk = self._connection._transport.receive()
             self._chunks_received += 1
             if chunk.get("type") == MSG_ERROR:
+                # a streamed server's error frame is the stream's terminal
+                # message: nothing further is on the wire
+                stream_ended = True
                 raise ExecutionError(chunk.get("message", "query failed"))
+            if chunk.get("last"):
+                stream_ended = True
             columns = assembler.add_chunk(chunk)
         except Exception:
             if self._connection._active_stream is self:
                 self._connection._active_stream = None
-            for _ in range(assembler.expected_chunks - self._chunks_received):
-                try:
-                    self._connection._transport.receive()
-                except Exception:
-                    break
+            if assembler.expected_chunks >= 0:
+                for _ in range(assembler.expected_chunks - self._chunks_received):
+                    try:
+                        self._connection._transport.receive()
+                    except Exception:
+                        break
+            elif not stream_ended:
+                # streamed result that failed before its terminal frame:
+                # drain until the last-flagged chunk (or the error frame
+                # that replaced it) so the transport stays in sync for the
+                # next query.  When the failure *was* the terminal frame,
+                # receiving again would block on an idle socket.
+                while True:
+                    try:
+                        message = self._connection._transport.receive()
+                    except Exception:
+                        break
+                    if message.get("type") != "result_chunk" \
+                            or message.get("last"):
+                        break
             raise
         if decode_rows:
             self._rows.extend(_decoded_chunk_rows(columns))
@@ -377,6 +402,7 @@ class ResultStream:
         result, transfer = self._assembler.finish()
         self._result = result
         self.transfer = transfer
+        self.row_count = result.row_count  # resolves streamed -1 headers
         self._finalised = True
         if self._connection._active_stream is self:
             self._connection._active_stream = None
@@ -422,6 +448,14 @@ class ResultStream:
         return row
 
     def fetchmany(self, size: int = 1) -> list[tuple]:
+        """Up to ``size`` more rows; ``[]`` once the stream is exhausted.
+
+        Exhaustion is a stable state: when the final chunk drained exactly
+        at a fetch boundary (``last``-flagged or counted), later calls keep
+        returning ``[]`` instead of touching the transport again —
+        ``_row_at`` only advances while the assembler reports the stream
+        incomplete.
+        """
         rows = []
         for _ in range(size):
             row = self.fetchone()

@@ -144,13 +144,20 @@ class ChunkEncoder:
 
     def __init__(self, result: QueryResult, *,
                  codec: str = compression_mod.CODEC_NONE,
-                 allow_dict: bool = False) -> None:
+                 allow_dict: bool = False,
+                 shipped_dictionaries: dict[int, np.ndarray] | None = None) -> None:
         self.codec = codec
         self.row_count = result.row_count
         self.allow_dict = allow_dict
+        #: Column index -> dictionary already on the wire.  Streamed results
+        #: encode each pipeline morsel with its own encoder but share this
+        #: map, so a dictionary is only re-inlined when the morsel's
+        #: dictionary object actually changed (identity comparison; holding
+        #: the object also pins its id against reuse).
+        self._shipped = shipped_dictionaries if shipped_dictionaries is not None \
+            else {}
         self._columns: list[tuple[ResultColumn, int, Any, np.ndarray | None,
                                   np.ndarray | None]] = []
-        self._dict_shipped: set[int] = set()
         for column in result.columns:
             tag = _SQL_TYPE_TAGS[column.sql_type]
             data: Any
@@ -210,10 +217,11 @@ class ChunkEncoder:
             if chunk_mask is not None and not chunk_mask.any():
                 chunk_mask = None
             flags = _FLAG_NULLS if chunk_mask is not None else 0
-            dict_inline = tag == TAG_DICT and index not in self._dict_shipped
+            dict_inline = tag == TAG_DICT \
+                and self._shipped.get(index) is not dictionary
             if dict_inline:
                 flags |= _FLAG_DICT_INLINE
-                self._dict_shipped.add(index)
+                self._shipped[index] = dictionary
             parts.append(struct.pack("<H", len(name_bytes)))
             parts.append(name_bytes)
             parts.append(struct.pack("<BBB", _SQL_TYPE_CODES[column.sql_type],

@@ -22,8 +22,12 @@ from .wire import decode_value, encode_value
 
 #: Highest protocol version this build speaks.  Version 1 is the seed
 #: row-oriented dict payload; version 2 adds the columnar chunk stream;
-#: version 3 adds dictionary-encoded string columns (``TAG_DICT``).
-PROTOCOL_VERSION = 3
+#: version 3 adds dictionary-encoded string columns (``TAG_DICT``);
+#: version 4 adds *streamed* results: the header may carry unknown row and
+#: chunk counts (``-1``) and the final ``result_chunk`` is flagged
+#: ``last`` — the server emits each pipeline morsel as soon as it
+#: completes, before the query finishes executing.
+PROTOCOL_VERSION = 4
 
 #: Result format labels carried in the ``result`` header message.
 FORMAT_LEGACY = "legacy"
@@ -245,6 +249,86 @@ def columnar_result_messages(result: QueryResult, *,
         }
 
 
+def streamed_result_messages(pieces: Iterator[QueryResult], *,
+                             statement_type: str = "SELECT",
+                             affected_rows: int = 0,
+                             compression: str | None = None,
+                             encryption_key: str | None = None,
+                             stats_out: TransferStats | None = None,
+                             protocol_version: int = PROTOCOL_VERSION
+                             ) -> Iterator[dict[str, Any]]:
+    """Yield a *streamed* result: header with unknown counts, then one
+    ``result_chunk`` per pipeline morsel, the final one flagged ``last``.
+
+    ``pieces`` is the engine's morsel stream (at least one, possibly empty,
+    piece; the first carries the column layout).  Each piece is encoded as a
+    self-contained chunk except that string dictionaries are only re-inlined
+    when they change between morsels (scan slices of one column share their
+    dictionary, so typically the dictionary ships once).  Requires a
+    version-4 peer: older assemblers rely on the header's ``chunk_count``.
+    """
+    codec = compression or compression_mod.CODEC_NONE
+    iterator = iter(pieces)
+    first = next(iterator)
+    if stats_out is not None:
+        stats_out.compression_codec = codec
+        stats_out.encrypted = encryption_key is not None
+    yield {
+        "type": MSG_RESULT,
+        "format": FORMAT_COLUMNAR,
+        "protocol_version": min(protocol_version, PROTOCOL_VERSION),
+        "streamed": True,
+        "statement_type": statement_type,
+        "affected_rows": affected_rows,
+        "row_count": -1,
+        "chunk_count": -1,
+        "columns": [{"name": column.name, "type": column.sql_type.value}
+                    for column in first.columns],
+        "compression": codec,
+        "encrypted": encryption_key is not None,
+    }
+    shipped_dictionaries: dict[int, Any] = {}
+    piece: QueryResult | None = first
+    seq = 0
+    rows_sent = 0
+    while piece is not None:
+        try:
+            next_piece: QueryResult | None = next(iterator)
+        except StopIteration:
+            next_piece = None
+        encoder = columnar_mod.ChunkEncoder(
+            piece, codec=codec, allow_dict=protocol_version >= 3,
+            shipped_dictionaries=shipped_dictionaries)
+        blob, raw_bytes = encoder.encode(0, piece.row_count)
+        compressed_bytes = len(blob)
+        if encryption_key is not None:
+            blob = encryption_mod.encrypt(blob, encryption_key)
+        chunk_stats = {
+            "raw_bytes": raw_bytes,
+            "compressed_bytes": compressed_bytes,
+            "encrypted_bytes": len(blob) if encryption_key is not None
+            else compressed_bytes,
+            "wire_bytes": len(blob),
+            "rows": piece.row_count,
+        }
+        if stats_out is not None:
+            stats_out.add_chunk(chunk_stats)
+            stats_out.total_rows = rows_sent + piece.row_count
+        yield {
+            "type": MSG_RESULT_CHUNK,
+            "seq": seq,
+            "row_start": rows_sent,
+            "row_count": piece.row_count,
+            "payload": blob,
+            "encrypted": encryption_key is not None,
+            "last": next_piece is None,
+            "stats": chunk_stats,
+        }
+        rows_sent += piece.row_count
+        seq += 1
+        piece = next_piece
+
+
 class ColumnarResultAssembler:
     """Client-side assembly of a columnar chunk stream into a lazy result.
 
@@ -260,8 +344,11 @@ class ColumnarResultAssembler:
         if header.get("format") != FORMAT_COLUMNAR:
             raise ProtocolError("result header is not columnar")
         self.header = header
+        #: ``-1`` marks a streamed (protocol v4) result: the chunk count is
+        #: unknown and completion is signalled by the ``last`` chunk flag.
         self.expected_chunks = int(header.get("chunk_count", 0))
         self.total_rows = int(header.get("row_count", 0))
+        self._last_seen = False
         self._encryption_key = encryption_key
         self._chunks: list[list[columnar_mod.DecodedColumn]] = []
         #: Cross-chunk dictionary cache: a TAG_DICT dictionary is shipped
@@ -276,7 +363,13 @@ class ColumnarResultAssembler:
         )
 
     @property
+    def streamed(self) -> bool:
+        return self.expected_chunks < 0
+
+    @property
     def complete(self) -> bool:
+        if self.streamed:
+            return self._last_seen
         return len(self._chunks) >= self.expected_chunks
 
     def add_chunk(self, message: dict[str, Any]
@@ -300,15 +393,24 @@ class ColumnarResultAssembler:
             raise ProtocolError("chunk column count does not match header")
         self._chunks.append(columns)
         self._rows_seen += row_count
+        if message.get("last"):
+            self._last_seen = True
         self.stats.add_chunk(message.get("stats") or {})
         return columns
 
     def finish(self) -> tuple[QueryResult, TransferStats]:
         if not self.complete:
+            if self.streamed:
+                raise ProtocolError(
+                    "result stream truncated: final chunk not received")
             raise ProtocolError(
                 f"result stream truncated: got {len(self._chunks)} of "
                 f"{self.expected_chunks} chunks")
-        if self._rows_seen != self.total_rows:
+        if self.streamed:
+            # unknown-count stream: the chunks themselves define the total
+            self.total_rows = self._rows_seen
+            self.stats.total_rows = self._rows_seen
+        elif self._rows_seen != self.total_rows:
             raise ProtocolError("chunk row counts do not match header")
         columns = []
         for index, meta in enumerate(self.header.get("columns", [])):

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from ..errors import AuthenticationError, ProtocolError, ReproError
-from ..sqldb.database import Database
+from ..sqldb.database import Database, StreamedResult
+from ..sqldb.result import QueryResult
 from . import compression as compression_mod
 from .auth import UserRegistry
 from .messages import (
@@ -38,6 +39,7 @@ from .messages import (
     PROTOCOL_VERSION,
     columnar_result_messages,
     encode_result,
+    streamed_result_messages,
 )
 from .wire import decode_frame, decode_message, encode_message, read_frame
 
@@ -77,10 +79,15 @@ class DatabaseServer:
     def __init__(self, database: Database | None = None,
                  registry: UserRegistry | None = None, *,
                  default_user: str = "monetdb", default_password: str = "monetdb",
-                 result_chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
-        self.database = database or Database()
+                 result_chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 workers: int = 1, stream_results: bool = True) -> None:
+        self.database = database or Database(workers=workers)
         self.registry = registry or UserRegistry()
         self.result_chunk_rows = max(1, int(result_chunk_rows))
+        #: Stream pipeline morsels to v4 clients as they complete (the
+        #: first ``result_chunk`` leaves before execution finishes).  Off
+        #: forces the fully-materialised v2/v3 chunking for everyone.
+        self.stream_results = bool(stream_results)
         if default_user and not self.registry.has_user(default_user):
             self.registry.add_user(default_user, default_password,
                                    database=self.database.name)
@@ -199,16 +206,36 @@ class DatabaseServer:
         except (TypeError, ValueError):
             raise ProtocolError("chunk_rows must be an integer") from None
 
-        result = self.database.execute(sql)
-        session.queries_executed += 1
-        self.stats.queries_executed += 1
-        self.stats.query_log.append(sql)
-
         encryption_key = None
         if encrypt:
             if session.transfer_key is None:
                 raise ProtocolError("no transfer key available for encryption")
             encryption_key = session.transfer_key.hex()
+
+        if session.protocol_version >= 4 and self.stream_results:
+            outcome = self.database.execute_stream(sql, max_rows=chunk_rows)
+            session.queries_executed += 1
+            self.stats.queries_executed += 1
+            self.stats.query_log.append(sql)
+            if isinstance(outcome, StreamedResult):
+                stream = streamed_result_messages(
+                    outcome.pieces(),
+                    statement_type=outcome.statement_type,
+                    affected_rows=outcome.affected_rows,
+                    compression=compression, encryption_key=encryption_key,
+                    protocol_version=session.protocol_version)
+                # pull the header eagerly: plan preparation already ran and
+                # the first morsel is computed here, so early errors still
+                # become well-formed error responses
+                header = next(stream)
+                return itertools.chain(
+                    (header,), self._guarded_chunks(stream))
+            result: QueryResult = outcome
+        else:
+            result = self.database.execute(sql)
+            session.queries_executed += 1
+            self.stats.queries_executed += 1
+            self.stats.query_log.append(sql)
 
         if session.protocol_version >= 2:
             stream = columnar_result_messages(
@@ -229,6 +256,21 @@ class DatabaseServer:
             "encrypted": encoded.encrypted,
             "stats": encoded.stats.as_dict(),
         },)
+
+    def _guarded_chunks(self, stream: Iterator[dict[str, Any]]
+                        ) -> Iterator[dict[str, Any]]:
+        """Relay streamed chunk messages, converting a mid-stream execution
+        failure into an ``error`` message (the header is already out, so the
+        client sees the error while consuming chunks)."""
+        try:
+            yield from stream
+        except ReproError as exc:
+            self.stats.errors += 1
+            yield {
+                "type": MSG_ERROR,
+                "error_class": type(exc).__name__,
+                "message": str(exc),
+            }
 
     # ------------------------------------------------------------------ #
     # framed entry point shared by the transports

@@ -360,6 +360,117 @@ def _grouped_vector_masked(upper: str, vector: Vector,
             for value, count in zip(per_group.tolist(), valid_counts.tolist())]
 
 
+# --------------------------------------------------------------------------- #
+# partial aggregation (morsel-parallel hash aggregation)
+# --------------------------------------------------------------------------- #
+#: Aggregates whose state decomposes into per-morsel partials that merge
+#: exactly: SUM/COUNT add, MIN/MAX combine, AVG carries (sum, count) pairs.
+#: Everything else (MEDIAN, the variance family, GROUP_CONCAT, DISTINCT
+#: aggregates) needs the whole group in one place and stays sequential.
+PARTIAL_AGGREGATES = frozenset({"SUM", "AVG", "MIN", "MAX", "COUNT"})
+
+
+class PartialAggregate:
+    """One aggregate's per-local-group state for a single morsel.
+
+    ``sums``/``counts``/``extremes`` are aligned to the morsel's *local*
+    group ids; the merge step routes them to global groups through the
+    morsel's local-to-global mapping.  ``None`` entries mean "no valid value
+    in this group" (the SQL all-NULL result), so merging stays NULL-correct
+    without consulting validity masks again.
+    """
+
+    __slots__ = ("name", "sums", "counts", "extremes")
+
+    def __init__(self, name: str, *, sums: list[Any] | None = None,
+                 counts: list[int] | None = None,
+                 extremes: list[Any] | None = None) -> None:
+        self.name = name
+        self.sums = sums
+        self.counts = counts
+        self.extremes = extremes
+
+
+def partial_aggregate(name: str, values: Sequence[Any], layout: GroupLayout,
+                      *, is_star: bool = False) -> PartialAggregate:
+    """One morsel's decomposable aggregate state, per local group.
+
+    Reuses the grouped kernels, so every per-morsel partial inherits their
+    exact semantics (mask-aware reductions, int-overflow fallback to
+    unbounded Python integers, string MIN/MAX on dictionary codes).
+    """
+    upper = name.upper()
+    if upper not in PARTIAL_AGGREGATES:
+        raise ExecutionError(f"aggregate {name!r} has no partial kernel")
+    if upper == "COUNT":
+        if is_star:
+            return PartialAggregate(upper, counts=layout.counts.tolist())
+        return PartialAggregate(
+            upper, counts=grouped_aggregate("COUNT", values, layout))
+    if upper == "SUM":
+        return PartialAggregate(
+            upper, sums=grouped_aggregate("SUM", values, layout))
+    if upper == "AVG":
+        return PartialAggregate(
+            upper,
+            sums=grouped_aggregate("SUM", values, layout),
+            counts=grouped_aggregate("COUNT", values, layout))
+    return PartialAggregate(
+        upper, extremes=grouped_aggregate(upper, values, layout))
+
+
+def merge_partial_aggregates(
+        name: str,
+        partials: Sequence[tuple[PartialAggregate, Sequence[int]]],
+        n_groups: int) -> list[Any]:
+    """Merge per-morsel partial states into one value per global group.
+
+    ``partials`` pairs each morsel's state with its local-to-global group id
+    mapping.  Groups no morsel contributed a valid value to come out as
+    ``None`` (``0`` for COUNT) — the same results one whole-batch reduction
+    produces.
+    """
+    upper = name.upper()
+    if upper == "COUNT":
+        totals = [0] * n_groups
+        for state, local_to_global in partials:
+            for local, gid in enumerate(local_to_global):
+                totals[gid] += state.counts[local]
+        return totals
+    if upper == "SUM":
+        sums: list[Any] = [None] * n_groups
+        for state, local_to_global in partials:
+            for local, gid in enumerate(local_to_global):
+                value = state.sums[local]
+                if value is None:
+                    continue
+                sums[gid] = value if sums[gid] is None else sums[gid] + value
+        return sums
+    if upper == "AVG":
+        sums = [None] * n_groups
+        counts = [0] * n_groups
+        for state, local_to_global in partials:
+            for local, gid in enumerate(local_to_global):
+                value = state.sums[local]
+                if value is not None:
+                    sums[gid] = value if sums[gid] is None else sums[gid] + value
+                counts[gid] += state.counts[local]
+        return [None if counts[g] == 0 else sums[g] / counts[g]
+                for g in range(n_groups)]
+    if upper in ("MIN", "MAX"):
+        pick = min if upper == "MIN" else max
+        extremes: list[Any] = [None] * n_groups
+        for state, local_to_global in partials:
+            for local, gid in enumerate(local_to_global):
+                value = state.extremes[local]
+                if value is None:
+                    continue
+                current = extremes[gid]
+                extremes[gid] = value if current is None else pick(current, value)
+        return extremes
+    raise ExecutionError(f"aggregate {name!r} has no partial kernel")
+
+
 def grouped_aggregate(name: str, values: Sequence[Any], layout: GroupLayout, *,
                       is_star: bool = False, distinct: bool = False) -> list[Any]:
     """Per-group aggregate results, in group order (one entry per group).

@@ -256,3 +256,10 @@ class CopyInto(Statement):
     path: str
     delimiter: str = ","
     header: bool = False
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN <select>`` — render the physical operator plan."""
+
+    query: Select

@@ -17,6 +17,11 @@ from ..errors import ExecutionError
 from . import ast_nodes as ast
 from .catalog import FunctionCatalog
 from .executor import Executor
+from .parallel import (
+    DEFAULT_MORSEL_ROWS,
+    DEFAULT_PARALLEL_THRESHOLD,
+    MorselScheduler,
+)
 from .parser import parse_script, parse_statement
 from .result import QueryResult
 from .schema import FunctionSignature
@@ -25,19 +30,37 @@ from .udf import UDFRuntime
 
 
 class Database:
-    """An embedded, in-memory, MonetDB-flavoured SQL database."""
+    """An embedded, in-memory, MonetDB-flavoured SQL database.
 
-    def __init__(self, name: str = "demo") -> None:
+    ``workers`` enables morsel-driven parallel SELECT execution: with
+    ``workers > 1`` large scans, join probes and aggregations are split into
+    ``morsel_rows``-sized row ranges executed on a shared thread pool (numpy
+    kernels release the GIL).  The default ``workers=1`` runs every query as
+    a single morsel — byte-identical to the pre-pipeline engine — and inputs
+    below ``parallel_threshold`` rows never pay pool overhead even when
+    parallelism is on.
+    """
+
+    def __init__(self, name: str = "demo", *, workers: int = 1,
+                 morsel_rows: int = DEFAULT_MORSEL_ROWS,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD) -> None:
         self.name = name
         self.storage = Storage()
         self.catalog = FunctionCatalog()
         self.udf_runtime = UDFRuntime(self)
+        self.scheduler = MorselScheduler(
+            workers, morsel_rows=morsel_rows,
+            parallel_threshold=parallel_threshold)
         self._executor = Executor(self)
         self._lock = threading.RLock()
         #: Count of executed statements, used by the workflow simulators to
         #: report "server round trips".
         self.statements_executed = 0
         self.query_log: list[str] = []
+
+    @property
+    def workers(self) -> int:
+        return self.scheduler.workers
 
     # ------------------------------------------------------------------ #
     # SQL execution
@@ -66,6 +89,36 @@ class Database:
         """Execute an already-parsed SELECT (used for subqueries and loopback)."""
         return self._executor.execute_select(select)
 
+    def execute_stream(self, sql: str, *, max_rows: int | None = None
+                       ) -> "QueryResult | StreamedResult":
+        """Execute one statement, streaming SELECT results morsel by morsel.
+
+        Returns a :class:`StreamedResult` — an iterator of per-morsel
+        :class:`QueryResult` pieces — when the statement is a streamable
+        SELECT (projection pipeline: no aggregation/DISTINCT/ORDER BY, no
+        UDFs or scalar subqueries).  The plan is prepared (sources bound,
+        join build sides materialised) under the database lock; iterating
+        the pieces then runs lock-free on scan snapshots, so the first piece
+        is available before the query finishes.  Everything else returns a
+        complete :class:`QueryResult`, exactly like :meth:`execute`.
+        """
+        with self._lock:
+            self.statements_executed += 1
+            self.query_log.append(sql)
+            statement = parse_statement(sql)
+            if not isinstance(statement, ast.Select):
+                return self._executor.execute(statement)
+            plan = self._executor.plan_select(statement)
+            if not plan.streamable:
+                return plan.execute()
+            plan.prepare()
+        return StreamedResult(plan, max_rows=max_rows)
+
+    def close(self) -> None:
+        """Release the worker pool (the database stays usable afterwards:
+        the next parallel query lazily recreates it)."""
+        self.scheduler.shutdown()
+
     # ------------------------------------------------------------------ #
     # convenience helpers used throughout the reproduction
     # ------------------------------------------------------------------ #
@@ -90,6 +143,27 @@ class Database:
         self.statements_executed = 0
         self.query_log.clear()
         self.udf_runtime.invocation_counts.clear()
+
+
+class StreamedResult:
+    """An iterator of per-morsel :class:`QueryResult` pieces of one SELECT.
+
+    The first piece always carries the result's column layout (a streamable
+    plan yields at least one — possibly empty — piece), so consumers such as
+    the wire server can emit a result header before execution finishes.
+    """
+
+    def __init__(self, plan: Any, *, max_rows: int | None = None) -> None:
+        self.plan = plan
+        self.statement_type = "SELECT"
+        self.affected_rows = 0
+        self._pieces = plan.stream_morsels(max_rows=max_rows)
+
+    def __iter__(self) -> Any:
+        return self._pieces
+
+    def pieces(self) -> Any:
+        return self._pieces
 
 
 def _apply_parameters(sql: str, parameters: tuple | dict) -> str:

@@ -1,78 +1,37 @@
-"""Statement execution: the vectorised operator-at-a-time query engine.
+"""Statement execution: dispatch, DML, and the SELECT plan driver.
 
 The executor turns parsed statements into :class:`QueryResult` objects.  It
-preserves the MonetDB-like *semantics* the devUDF workflows need (meta tables,
-Python UDF invocation with whole columns, loopback queries, table-producing
-UDFs with subquery arguments) and, since the vectorisation pass, also the
-MonetDB-like *shape* of execution: scans hand out the storage layer's cached
-numpy arrays (near-zero-copy), equi-joins run as build/probe hash joins with
-vectorised gathers, non-equi joins evaluate their condition once over the
-materialised cross product, GROUP BY is single-pass hash aggregation with
-``reduceat`` kernels, and filtering/ordering use boolean-mask selection and
-``np.lexsort``.  Per-row fallbacks remain only where Python-object semantics
-require them (NULL-bearing columns, strings, and per-group UDF aggregates).
+preserves the MonetDB-like *semantics* the devUDF workflows need (meta
+tables, Python UDF invocation with whole columns, loopback queries,
+table-producing UDFs with subquery arguments).
+
+Since the physical-operator refactor, ``SELECT`` execution lives in
+:mod:`repro.sqldb.plan` (the planner and morsel driver) and
+:mod:`repro.sqldb.operators` (Scan/Filter/HashJoin/HashAggregate/Project/
+Sort/Distinct/Limit): this module shrank to the statement dispatcher, the
+DML/DDL paths (unchanged), and the ``EXPLAIN`` statement that renders a
+plan without running it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-from ..errors import CatalogError, ExecutionError
+from ..errors import ExecutionError
 from . import ast_nodes as ast
-from .aggregates import GroupLayout, grouped_aggregate, is_aggregate
 from .catalog import FunctionCatalog
 from .csvio import load_csv_into_table
-from .expressions import (
-    Batch,
-    BatchColumn,
-    EvalResult,
-    ExpressionEvaluator,
-    as_value_list,
-    child_expressions,
-    default_output_name,
-    expression_contains_aggregate,
-    is_vector,
-    iter_function_calls,
-    take_values,
-)
-from .functions import is_builtin_scalar
+from .expressions import Batch, ExpressionEvaluator
+from .plan import Planner, SelectPlan
 from .result import QueryResult, ResultColumn
 from .schema import ColumnDef, FunctionSignature, TableSchema
 from .storage import Storage, Table
-from .types import ColumnType, SQLType, infer_sql_type, python_value
-from .udf import convert_table_result
-from .vector import NULL_CODE, Vector, remap_to_shared_dictionary, vector_parts
+from .types import ColumnType, SQLType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
-
-
-#: Schemas of the virtual meta tables exposed by the catalog (Listing 1).
-_SYS_FUNCTIONS_SCHEMA = [
-    ("id", SQLType.INTEGER),
-    ("name", SQLType.STRING),
-    ("func", SQLType.STRING),
-    ("mod", SQLType.STRING),
-    ("language", SQLType.INTEGER),
-    ("type", SQLType.INTEGER),
-]
-
-_SYS_ARGS_SCHEMA = [
-    ("id", SQLType.INTEGER),
-    ("func_id", SQLType.INTEGER),
-    ("name", SQLType.STRING),
-    ("type", SQLType.STRING),
-    ("number", SQLType.INTEGER),
-    ("inout", SQLType.INTEGER),
-]
-
-_SYS_TABLES_SCHEMA = [
-    ("id", SQLType.INTEGER),
-    ("name", SQLType.STRING),
-    ("row_count", SQLType.BIGINT),
-]
 
 
 class Executor:
@@ -80,6 +39,7 @@ class Executor:
 
     def __init__(self, database: "Database") -> None:
         self.database = database
+        self.planner = Planner(database)
 
     # ------------------------------------------------------------------ #
     # shortcuts
@@ -98,6 +58,8 @@ class Executor:
     def execute(self, statement: ast.Statement) -> QueryResult:
         if isinstance(statement, ast.Select):
             return self.execute_select(statement)
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.DropTable):
@@ -120,6 +82,21 @@ class Executor:
         if isinstance(statement, ast.CopyInto):
             return self._execute_copy(statement)
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # SELECT: planner + morsel driver
+    # ------------------------------------------------------------------ #
+    def execute_select(self, select: ast.Select) -> QueryResult:
+        return self.plan_select(select).execute()
+
+    def plan_select(self, select: ast.Select) -> SelectPlan:
+        """Lower a SELECT into an executable physical plan."""
+        return self.planner.plan(select)
+
+    def _execute_explain(self, statement: ast.Explain) -> QueryResult:
+        lines = self.plan_select(statement.query).explain_lines()
+        column = ResultColumn("plan", SQLType.STRING, lines)
+        return QueryResult([column], statement_type="EXPLAIN")
 
     # ------------------------------------------------------------------ #
     # DDL / DML
@@ -232,816 +209,17 @@ class Executor:
         return QueryResult.empty(affected_rows=loaded, statement_type="COPY INTO")
 
     # ------------------------------------------------------------------ #
-    # SELECT
+    # shared helpers
     # ------------------------------------------------------------------ #
-    def execute_select(self, select: ast.Select) -> QueryResult:
-        batch = self._resolve_from(select.from_clause)
-
-        if select.where is not None:
-            evaluator = ExpressionEvaluator(self.database, batch)
-            batch = batch.filter(evaluator.evaluate_mask(select.where))
-
-        has_aggregates = any(
-            expression_contains_aggregate(item.expression)
-            for item in select.items
-            if not isinstance(item.expression, ast.Star)
-        ) or (select.having is not None and expression_contains_aggregate(select.having))
-
-        if select.group_by or has_aggregates:
-            result = self._execute_grouped(select, batch)
-        else:
-            result = self._execute_projection(select, batch)
-
-        if select.distinct:
-            result = _distinct(result)
-        if select.order_by:
-            result = self._apply_order_by(select, result, batch)
-        if select.offset is not None:
-            result = _slice_result(result, select.offset, None)
-        if select.limit is not None:
-            result = _slice_result(result, 0, select.limit)
-        return result
-
-    # -- projection -------------------------------------------------------- #
-    def _execute_projection(self, select: ast.Select, batch: Batch) -> QueryResult:
-        evaluator = ExpressionEvaluator(self.database, batch)
-        names: list[str] = []
-        results: list[EvalResult] = []
-        for index, item in enumerate(select.items):
-            if isinstance(item.expression, ast.Star):
-                for column in batch.columns_for(item.expression.table):
-                    names.append(column.name)
-                    results.append(EvalResult(column.values, constant=False,
-                                              sql_type=column.sql_type))
-                continue
-            result = evaluator.evaluate(item.expression)
-            names.append(item.alias or default_output_name(item.expression, index))
-            results.append(result)
-
-        if not results:
-            return QueryResult([])
-
-        non_constant_lengths = [len(r) for r in results if not r.constant]
-        if non_constant_lengths:
-            output_length = max(non_constant_lengths)
-        else:
-            output_length = max(len(r) for r in results)
-        columns = []
-        for name, result in zip(names, results):
-            values = result.broadcast(output_length)
-            if isinstance(values, Vector):
-                # keep the vector backing: no Python-object materialisation,
-                # and the dictionary flows through to the wire encoder
-                sql_type = result.sql_type or values.sql_type
-                columns.append(ResultColumn.from_vector(name, sql_type, values))
-                continue
-            if is_vector(values) and result.sql_type is not None:
-                columns.append(ResultColumn(name, result.sql_type, values))
-                continue
-            values = as_value_list(values)
-            sql_type = result.sql_type or _infer_column_type(values)
-            columns.append(ResultColumn(name, sql_type, values))
-        return QueryResult(columns)
-
-    # -- grouping ----------------------------------------------------------- #
-    def _execute_grouped(self, select: ast.Select, batch: Batch) -> QueryResult:
-        """GROUP BY / implicit aggregation via single-pass hash aggregation.
-
-        Aggregate sub-expressions are computed once over the whole batch with
-        per-group numpy kernels; the select items are then evaluated over one
-        representative row per group with the aggregates substituted in.
-        Queries whose expressions call Python UDFs keep the original
-        per-group execution, which invokes the UDF once per group.
-        """
-        if self._grouped_needs_per_group(select):
-            return self._execute_grouped_per_group(select, batch)
-
-        evaluator = ExpressionEvaluator(self.database, batch)
-        layout, rep_indices = self._group_layout(select, batch, evaluator)
-        n_groups = layout.n_groups
-
-        if n_groups > 0 and any(isinstance(item.expression, ast.Star)
-                                for item in select.items):
-            raise ExecutionError("'*' cannot be combined with GROUP BY")
-
-        aggregate_columns: dict[int, list[Any]] = {}
-        aggregate_nodes: list[ast.FunctionCall] = []
-        for item in select.items:
-            _collect_aggregates(item.expression, aggregate_nodes)
-        if select.having is not None:
-            _collect_aggregates(select.having, aggregate_nodes)
-        for node in aggregate_nodes:
-            if id(node) not in aggregate_columns:
-                aggregate_columns[id(node)] = self._grouped_aggregate_column(
-                    node, evaluator, batch, layout)
-
-        rep_batch = batch.take(rep_indices)
-        grouped_evaluator = _GroupedExpressionEvaluator(
-            self.database, rep_batch, aggregate_columns)
-
-        keep: list[int] | None = None
-        if select.having is not None:
-            having = _group_column(grouped_evaluator.evaluate(select.having), n_groups)
-            keep = [g for g in range(n_groups)
-                    if having[g] is True or having[g] == 1]
-
-        names: list[str] = []
-        columns: list[ResultColumn] = []
-        for index, item in enumerate(select.items):
-            values = _group_column(grouped_evaluator.evaluate(item.expression),
-                                   n_groups)
-            if keep is not None:
-                values = [values[g] for g in keep]
-            name = item.alias or default_output_name(item.expression, index)
-            names.append(name)
-            columns.append(ResultColumn(name, _infer_column_type(values), values))
-        return QueryResult(columns)
-
-    def _group_layout(self, select: ast.Select, batch: Batch,
-                      evaluator: ExpressionEvaluator
-                      ) -> tuple[GroupLayout, Sequence[int]]:
-        """Factorise the GROUP BY keys into (layout, first-row-per-group).
-
-        Groups are numbered in first-appearance order, matching the ordering
-        the per-group dict-based execution produced.
-        """
-        row_count = batch.row_count
-        if not select.group_by:
-            # implicit aggregation: one group spanning the whole batch (even
-            # when it is empty, so aggregates still produce a row)
-            gids = np.zeros(row_count, dtype=np.int64)
-            return GroupLayout(gids, 1), ([0] if row_count else [])
-
-        key_columns = [
-            evaluator.evaluate(expr).broadcast(row_count)
-            for expr in select.group_by
-        ]
-        if len(key_columns) == 1 and row_count > 0:
-            sort_key = _grouping_key_array(key_columns[0])
-            if sort_key is not None:
-                # one stable key sort yields the factorisation AND the
-                # contiguous cluster geometry the reduceat kernels need
-                return _layout_from_sort_key(sort_key, row_count)
-
-        columns = [as_value_list(column) for column in key_columns]
-        mapping: dict[tuple, int] = {}
-        gids = np.empty(row_count, dtype=np.int64)
-        rep_indices: list[int] = []
-        for row_index, key in enumerate(zip(*columns)):
-            gid = mapping.get(key)
-            if gid is None:
-                gid = len(mapping)
-                mapping[key] = gid
-                rep_indices.append(row_index)
-            gids[row_index] = gid
-        return GroupLayout(gids, len(mapping)), rep_indices
-
-    def _grouped_aggregate_column(self, node: ast.FunctionCall,
-                                  evaluator: ExpressionEvaluator, batch: Batch,
-                                  layout: GroupLayout) -> list[Any]:
-        """Evaluate one aggregate call per group (vectorised where possible)."""
-        is_star = len(node.args) == 1 and isinstance(node.args[0], ast.Star)
-        if is_star or not node.args:
-            values: Sequence[Any] = (
-                [1] * batch.row_count if node.distinct else [])
-        else:
-            values = evaluator.evaluate(node.args[0]).broadcast(batch.row_count)
-        return grouped_aggregate(node.name, values, layout,
-                                 is_star=is_star, distinct=node.distinct)
-
-    def _grouped_needs_per_group(self, select: ast.Select) -> bool:
-        """True when grouped execution must run per group (UDF calls)."""
-        expressions = [item.expression for item in select.items
-                       if not isinstance(item.expression, ast.Star)]
-        if select.having is not None:
-            expressions.append(select.having)
-        expressions.extend(select.group_by)
-        return any(
-            not is_aggregate(call.name) and not is_builtin_scalar(call.name)
-            for expression in expressions
-            for call in iter_function_calls(expression)
-        )
-
-    def _execute_grouped_per_group(self, select: ast.Select,
-                                   batch: Batch) -> QueryResult:
-        """Per-group execution: one evaluator per group (UDFs run per group)."""
-        evaluator = ExpressionEvaluator(self.database, batch)
-        if select.group_by:
-            key_columns = [
-                as_value_list(evaluator.evaluate(expr).broadcast(batch.row_count))
-                for expr in select.group_by
-            ]
-            groups: dict[tuple, list[int]] = {}
-            for row_index in range(batch.row_count):
-                key = tuple(column[row_index] for column in key_columns)
-                groups.setdefault(key, []).append(row_index)
-            group_indices = list(groups.values())
-        else:
-            group_indices = [list(range(batch.row_count))]
-
-        names: list[str] = []
-        first = True
-        rows: list[list[Any]] = []
-        for indices in group_indices:
-            group_batch = batch.take(indices)
-            group_evaluator = ExpressionEvaluator(self.database, group_batch,
-                                                  allow_aggregates=True)
-            if select.having is not None:
-                having = group_evaluator.evaluate(select.having)
-                keep = having.values[0] if len(having.values) else False
-                if not (keep is True or keep == 1):
-                    continue
-            row: list[Any] = []
-            for index, item in enumerate(select.items):
-                if isinstance(item.expression, ast.Star):
-                    raise ExecutionError("'*' cannot be combined with GROUP BY")
-                value_result = group_evaluator.evaluate(item.expression)
-                if len(value_result.values):
-                    value = python_value(value_result.values[0])
-                else:
-                    value = None
-                row.append(value)
-                if first:
-                    names.append(item.alias or default_output_name(item.expression, index))
-            first = False
-            rows.append(row)
-
-        if not names:
-            names = [
-                item.alias or default_output_name(item.expression, index)
-                for index, item in enumerate(select.items)
-            ]
-        columns = []
-        for column_index, name in enumerate(names):
-            values = [row[column_index] for row in rows]
-            columns.append(ResultColumn(name, _infer_column_type(values), values))
-        return QueryResult(columns)
-
-    # -- ORDER BY ------------------------------------------------------------ #
-    def _apply_order_by(self, select: ast.Select, result: QueryResult,
-                        batch: Batch) -> QueryResult:
-        row_count = result.row_count
-        keys: list[list[Any]] = []
-        for order_item in select.order_by:
-            values = self._order_key_values(order_item.expression, result, batch, row_count)
-            keys.append(values)
-        descending = [order_item.descending for order_item in select.order_by]
-
-        indices = _sorted_indices(keys, descending, row_count)
-        columns = [
-            ResultColumn(col.name, col.sql_type, [col.values[i] for i in indices])
-            for col in result.columns
-        ]
-        return QueryResult(columns)
-
-    def _order_key_values(self, expression: ast.Expression, result: QueryResult,
-                          batch: Batch, row_count: int) -> list[Any]:
-        if isinstance(expression, ast.ColumnRef) and expression.table is None:
-            lowered = expression.name.lower()
-            for column in result.columns:
-                if column.name.lower() == lowered:
-                    return list(column.values)
-        if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
-            position = expression.value - 1
-            if 0 <= position < result.column_count:
-                return list(result.columns[position].values)
-        evaluator = ExpressionEvaluator(self.database, batch, allow_aggregates=False)
-        values = evaluator.evaluate(expression).broadcast(batch.row_count)
-        if len(values) != row_count:
-            raise ExecutionError("ORDER BY expression length mismatch")
-        return as_value_list(values)
-
-    # ------------------------------------------------------------------ #
-    # FROM clause resolution
-    # ------------------------------------------------------------------ #
-    def _resolve_from(self, from_clause: ast.TableRef | None) -> Batch:
-        if from_clause is None:
-            return Batch.empty()
-        if isinstance(from_clause, ast.NamedTable):
-            return self._batch_from_named(from_clause)
-        if isinstance(from_clause, ast.SubquerySource):
-            result = self.execute_select(from_clause.query)
-            return _batch_from_result(result, from_clause.alias)
-        if isinstance(from_clause, ast.TableFunctionCall):
-            return self._batch_from_table_function(from_clause)
-        if isinstance(from_clause, ast.Join):
-            return self._batch_from_join(from_clause)
-        raise ExecutionError(f"unsupported FROM item {type(from_clause).__name__}")
-
-    def _batch_from_named(self, ref: ast.NamedTable) -> Batch:
-        name = ref.name
-        alias = ref.alias or name.split(".")[-1]
-        virtual = self._virtual_table(name)
-        if virtual is not None:
-            schema, rows = virtual
-            columns = [
-                BatchColumn(alias, column_name, sql_type,
-                            [row[i] for row in rows])
-                for i, (column_name, sql_type) in enumerate(schema)
-            ]
-            return Batch(columns, row_count=len(rows))
-        table = self.storage.table(name)
-        return self._batch_from_table(table, alias=alias)
-
-    def _virtual_table(self, name: str) -> tuple[list[tuple[str, SQLType]], list[tuple]] | None:
-        lowered = name.lower()
-        if lowered in ("sys.functions", "functions"):
-            return _SYS_FUNCTIONS_SCHEMA, self.catalog.sys_functions_rows()
-        if lowered in ("sys.args", "args"):
-            return _SYS_ARGS_SCHEMA, self.catalog.sys_args_rows()
-        if lowered in ("sys.tables", "tables"):
-            rows = [
-                (index, table_name, self.storage.table(table_name).row_count)
-                for index, table_name in enumerate(self.storage.table_names())
-            ]
-            return _SYS_TABLES_SCHEMA, rows
-        return None
-
     @staticmethod
     def _batch_from_table(table: Table, *, alias: str) -> Batch:
         # near-zero-copy scan: share the storage layer's cached (read-only)
         # arrays/vectors instead of copying every column per query
+        from .expressions import BatchColumn
+
         columns = [
             BatchColumn(alias, column.name, column.sql_type,
                         column.scan_values())
             for column in table.columns
         ]
         return Batch(columns, row_count=table.row_count)
-
-    def _batch_from_table_function(self, ref: ast.TableFunctionCall) -> Batch:
-        if not self.catalog.has(ref.name):
-            raise CatalogError(f"unknown table function {ref.name!r}")
-        signature = self.catalog.get(ref.name).signature
-        alias = ref.alias or ref.name
-
-        # Evaluate arguments: subqueries contribute one argument per result
-        # column (MonetDB flattens them positionally); scalar expressions are
-        # evaluated as constants.
-        arg_values: list[Any] = []
-        for arg in ref.args:
-            if isinstance(arg, ast.Select):
-                sub_result = self.execute_select(arg)
-                for column in sub_result.columns:
-                    arg_values.append(column.to_numpy())
-            else:
-                evaluator = ExpressionEvaluator(self.database, Batch.empty())
-                arg_values.append(evaluator.evaluate(arg).values[0])
-
-        if len(arg_values) != len(signature.parameters):
-            raise ExecutionError(
-                f"table function {ref.name!r} expects {len(signature.parameters)} "
-                f"arguments, got {len(arg_values)}"
-            )
-        raw = self.database.udf_runtime.invoke(signature, arg_values)
-
-        if signature.returns_table:
-            column_data = convert_table_result(signature, raw)
-            columns = [
-                BatchColumn(alias, column_name, signature.return_columns[i].sql_type,
-                            values)
-                for i, (column_name, values) in enumerate(column_data.items())
-            ]
-            row_count = len(columns[0].values) if columns else 0
-            return Batch(columns, row_count=row_count)
-
-        # Scalar function used in FROM: expose its result as a one-column table.
-        from .udf import convert_scalar_result
-
-        values, _ = convert_scalar_result(signature, raw, 0)
-        column = BatchColumn(alias, signature.name,
-                             signature.return_type or SQLType.DOUBLE, values)
-        return Batch([column], row_count=len(values))
-
-    def _batch_from_join(self, join: ast.Join) -> Batch:
-        """Join two batches without ever evaluating a row pair at a time.
-
-        Equi-join conditions (``a.x = b.y``, including AND-of-equalities) run
-        as a build/probe hash join; every other condition is evaluated once,
-        vectorised, over the materialised cross product.  LEFT JOIN emits its
-        unmatched left rows after all matches, as the nested-loop
-        implementation did.
-        """
-        left = self._resolve_from(join.left)
-        right = self._resolve_from(join.right)
-        join_type = join.join_type.upper()
-
-        if join_type == "CROSS" or join.condition is None:
-            left_indices = np.repeat(
-                np.arange(left.row_count, dtype=np.intp), right.row_count)
-            right_indices = np.tile(
-                np.arange(right.row_count, dtype=np.intp), left.row_count)
-            unmatched: np.ndarray | None = None
-        else:
-            equi_keys = self._equi_join_keys(join.condition, left, right)
-            if equi_keys is not None:
-                left_indices, right_indices, unmatched = self._hash_join_indices(
-                    left, right, equi_keys, join_type)
-            else:
-                left_indices, right_indices, unmatched = self._mask_join_indices(
-                    left, right, join.condition, join_type)
-
-        return self._gather_join(left, right, left_indices, right_indices, unmatched)
-
-    def _equi_join_keys(self, condition: ast.Expression, left: Batch, right: Batch
-                        ) -> list[tuple[ast.ColumnRef, ast.ColumnRef]] | None:
-        """Extract ``left_col = right_col`` pairs from an AND-of-equalities.
-
-        Returns None when any conjunct is not such an equality (including
-        ambiguous or unresolvable column references, which the fallback path
-        reports with the same errors as before).
-        """
-        pairs: list[tuple[ast.ColumnRef, ast.ColumnRef]] = []
-        for conjunct in _conjuncts(condition):
-            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
-                    and isinstance(conjunct.left, ast.ColumnRef)
-                    and isinstance(conjunct.right, ast.ColumnRef)):
-                return None
-            first_side = _column_side(conjunct.left, left, right)
-            second_side = _column_side(conjunct.right, left, right)
-            if first_side == "left" and second_side == "right":
-                pairs.append((conjunct.left, conjunct.right))
-            elif first_side == "right" and second_side == "left":
-                pairs.append((conjunct.right, conjunct.left))
-            else:
-                return None
-        return pairs or None
-
-    def _hash_join_indices(self, left: Batch, right: Batch,
-                           pairs: Sequence[tuple[ast.ColumnRef, ast.ColumnRef]],
-                           join_type: str
-                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        """Build on the right input, probe with the left (SQL NULLs never match)."""
-        if len(pairs) == 1:
-            left_ref, right_ref = pairs[0]
-            keys = _join_key_arrays(left.resolve(left_ref.name, left_ref.table).values,
-                                    right.resolve(right_ref.name, right_ref.table).values)
-            if keys is not None:
-                return _vector_equi_join(*keys, join_type=join_type)
-        left_keys = [left.resolve(ref.name, ref.table).value_list()
-                     for ref, _ in pairs]
-        right_keys = [right.resolve(ref.name, ref.table).value_list()
-                      for _, ref in pairs]
-
-        build: dict[tuple, list[int]] = {}
-        for right_row, key in enumerate(zip(*right_keys)):
-            if any(part is None for part in key):
-                continue
-            build.setdefault(key, []).append(right_row)
-
-        left_out: list[int] = []
-        right_out: list[int] = []
-        unmatched: list[int] = []
-        for left_row, key in enumerate(zip(*left_keys)):
-            matches = None
-            if not any(part is None for part in key):
-                matches = build.get(key)
-            if matches:
-                left_out.extend([left_row] * len(matches))
-                right_out.extend(matches)
-            elif join_type == "LEFT":
-                unmatched.append(left_row)
-        return (np.asarray(left_out, dtype=np.intp),
-                np.asarray(right_out, dtype=np.intp),
-                np.asarray(unmatched, dtype=np.intp) if join_type == "LEFT" else None)
-
-    def _mask_join_indices(self, left: Batch, right: Batch,
-                           condition: ast.Expression, join_type: str
-                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        """Evaluate an arbitrary join condition once over the cross product."""
-        all_left = np.repeat(np.arange(left.row_count, dtype=np.intp), right.row_count)
-        all_right = np.tile(np.arange(right.row_count, dtype=np.intp), left.row_count)
-        combined = Batch(
-            [BatchColumn(c.table, c.name, c.sql_type, take_values(c.values, all_left))
-             for c in left.columns]
-            + [BatchColumn(c.table, c.name, c.sql_type, take_values(c.values, all_right))
-               for c in right.columns],
-            row_count=left.row_count * right.row_count,
-        )
-        evaluator = ExpressionEvaluator(self.database, combined)
-        mask = evaluator.evaluate_mask(condition)
-        if isinstance(mask, np.ndarray):
-            selected = np.flatnonzero(mask)
-        else:
-            selected = np.asarray(
-                [i for i, keep in enumerate(mask) if keep], dtype=np.intp)
-        left_indices = all_left[selected]
-        right_indices = all_right[selected]
-        if join_type != "LEFT":
-            return left_indices, right_indices, None
-        matched = np.zeros(left.row_count, dtype=np.bool_)
-        matched[left_indices] = True
-        return left_indices, right_indices, np.flatnonzero(~matched)
-
-    @staticmethod
-    def _gather_join(left: Batch, right: Batch, left_indices: np.ndarray,
-                     right_indices: np.ndarray,
-                     unmatched: np.ndarray | None) -> Batch:
-        """Materialise the joined batch with vectorised gathers."""
-        if unmatched is not None and unmatched.size == 0:
-            unmatched = None
-        row_count = len(left_indices) + (len(unmatched) if unmatched is not None else 0)
-        columns: list[BatchColumn] = []
-        for column in left.columns:
-            if unmatched is None:
-                values = take_values(column.values, left_indices)
-            else:
-                values = take_values(column.values,
-                                     np.concatenate([left_indices, unmatched]))
-            columns.append(BatchColumn(column.table, column.name,
-                                       column.sql_type, values))
-        for column in right.columns:
-            matched_values = take_values(column.values, right_indices)
-            if unmatched is None:
-                values = matched_values
-            else:
-                values = as_value_list(matched_values) + [None] * len(unmatched)
-            columns.append(BatchColumn(column.table, column.name,
-                                       column.sql_type, values))
-        return Batch(columns, row_count=row_count)
-
-
-# --------------------------------------------------------------------------- #
-# grouping / join helpers
-# --------------------------------------------------------------------------- #
-def _join_key_arrays(left_values: Any, right_values: Any
-                     ) -> tuple[np.ndarray, np.ndarray | None,
-                                np.ndarray, np.ndarray | None] | None:
-    """Normalise both sides of an equi-join key to one comparable space.
-
-    Returns ``(left data, left mask, right data, right mask)`` — integer
-    codes for dictionary strings (remapped into one shared dictionary),
-    a common numeric dtype otherwise — or ``None`` when the pair cannot
-    take the vectorised join (object columns, string-vs-number joins).
-    """
-    left_parts = vector_parts(left_values)
-    right_parts = vector_parts(right_values)
-    if left_parts is None or right_parts is None:
-        return None
-    l_data, l_mask, l_dict = left_parts
-    r_data, r_mask, r_dict = right_parts
-    if (l_dict is None) != (r_dict is None):
-        return None  # string-vs-number join: Python equality semantics apply
-    if l_dict is not None:
-        l_codes, r_codes = remap_to_shared_dictionary(
-            Vector(l_data, l_mask, l_dict), Vector(r_data, r_mask, r_dict))
-        return l_codes, l_mask, r_codes, r_mask
-    if l_data.dtype.kind not in "biuf" or r_data.dtype.kind not in "biuf":
-        return None
-    if l_data.dtype.kind == "f" or r_data.dtype.kind == "f":
-        # mixed int/float keys compare through float64; integers beyond
-        # 2^53 would collide after the cast where exact Python equality
-        # would not match, so those stay on the exact per-row path
-        for data in (l_data, r_data):
-            if data.dtype.kind in "iu" and data.size \
-                    and max(abs(int(data.max())), abs(int(data.min()))) > 2 ** 53:
-                return None
-        common: type = np.float64
-    else:
-        common = np.int64
-    return (l_data.astype(common, copy=False), l_mask,
-            r_data.astype(common, copy=False), r_mask)
-
-
-def _vector_equi_join(left_data: np.ndarray, left_mask: np.ndarray | None,
-                      right_data: np.ndarray, right_mask: np.ndarray | None,
-                      *, join_type: str
-                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Vectorised single-key equi-join: sort/searchsorted build + probe.
-
-    The right side is factorised with ``np.unique`` and its rows grouped per
-    key; the left side probes with ``searchsorted``.  NULL keys (masked rows)
-    are excluded from both build and probe, so they never match — matching
-    the three-valued-logic behaviour of the per-row hash join.  Output pair
-    order matches the Python loop: left rows ascending, right matches in
-    original row order within each key.
-    """
-    left_count = len(left_data)
-    right_rows = (np.flatnonzero(~right_mask) if right_mask is not None
-                  else np.arange(len(right_data), dtype=np.intp))
-    right_keys = right_data[right_rows]
-    unique_keys, right_inverse = np.unique(right_keys, return_inverse=True)
-    by_key = np.argsort(right_inverse, kind="stable")
-    grouped_rows = right_rows[by_key]
-    counts = np.bincount(right_inverse, minlength=len(unique_keys))
-    group_starts = np.concatenate(([0], np.cumsum(counts[:-1]))) \
-        if len(unique_keys) else np.zeros(0, dtype=np.int64)
-
-    if len(unique_keys):
-        positions = np.searchsorted(unique_keys, left_data)
-        clipped = np.minimum(positions, len(unique_keys) - 1)
-        found = (positions < len(unique_keys)) & (unique_keys[clipped] == left_data)
-    else:
-        positions = np.zeros(left_count, dtype=np.intp)
-        found = np.zeros(left_count, dtype=np.bool_)
-    if left_mask is not None:
-        found &= ~left_mask
-
-    probe_rows = np.flatnonzero(found)
-    probe_keys = positions[probe_rows]
-    match_counts = counts[probe_keys]
-    total = int(match_counts.sum())
-    prefix = np.cumsum(match_counts) - match_counts
-    within = np.arange(total, dtype=np.intp) - np.repeat(prefix, match_counts)
-    right_out = grouped_rows[np.repeat(group_starts[probe_keys], match_counts)
-                             + within] if total else np.zeros(0, dtype=np.intp)
-    left_out = np.repeat(probe_rows, match_counts).astype(np.intp, copy=False)
-    unmatched = np.flatnonzero(~found) if join_type == "LEFT" else None
-    return left_out, np.asarray(right_out, dtype=np.intp), unmatched
-
-
-def _grouping_key_array(values: Any) -> np.ndarray | None:
-    """A sortable key array factorising a GROUP BY column; None = fall back.
-
-    NULLs form their own group (SQL semantics: all NULL keys group together),
-    represented by ``NULL_CODE`` — below every valid code/value.  Dictionary
-    vectors group on their codes directly; masked numeric vectors factorise
-    the valid values with ``np.unique`` so NULLs get a code of their own.
-    """
-    if is_vector(values):
-        return values
-    if not isinstance(values, Vector):
-        return None
-    if values.dictionary is not None:
-        if values.mask is None:
-            return values.data
-        return np.where(values.mask, NULL_CODE, values.data)
-    if values.mask is None:
-        return values.data
-    valid = ~values.mask
-    codes = np.full(len(values), NULL_CODE, dtype=np.int64)
-    if valid.any():
-        _, inverse = np.unique(values.data[valid], return_inverse=True)
-        codes[valid] = inverse
-    return codes
-
-
-def _layout_from_sort_key(array: np.ndarray, row_count: int
-                          ) -> tuple[GroupLayout, Sequence[int]]:
-    """Factorise one key array into (layout, first-row-per-group) geometry."""
-    order = np.argsort(array, kind="stable")
-    sorted_keys = array[order]
-    new_cluster = np.empty(row_count, dtype=np.bool_)
-    new_cluster[0] = True
-    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_cluster[1:])
-    starts = np.flatnonzero(new_cluster)
-    n_groups = int(starts.size)
-    # stable sort => the first row of each cluster is its earliest row
-    first_rows = order[starts]
-    out_perm = np.empty(n_groups, dtype=np.int64)
-    out_perm[np.argsort(first_rows, kind="stable")] = \
-        np.arange(n_groups, dtype=np.int64)
-    cluster_of_sorted_row = np.cumsum(new_cluster) - 1
-    gids = np.empty(row_count, dtype=np.int64)
-    gids[order] = out_perm[cluster_of_sorted_row]
-    layout = GroupLayout(gids, n_groups, order=order, starts=starts,
-                         out_perm=out_perm)
-    return layout, np.sort(first_rows)
-
-
-class _GroupedExpressionEvaluator(ExpressionEvaluator):
-    """Evaluates select items over one representative row per group.
-
-    Aggregate calls resolve to precomputed per-group columns, so an
-    expression like ``SUM(x) / COUNT(*)`` is evaluated once for all groups
-    instead of once per group.
-    """
-
-    def __init__(self, database: "Database", rep_batch: Batch,
-                 aggregate_columns: dict[int, list[Any]]) -> None:
-        super().__init__(database, rep_batch, allow_aggregates=True)
-        self._aggregate_columns = aggregate_columns
-
-    def _eval_FunctionCall(self, node: ast.FunctionCall) -> EvalResult:
-        precomputed = self._aggregate_columns.get(id(node))
-        if precomputed is not None:
-            return EvalResult(precomputed, constant=False)
-        return super()._eval_FunctionCall(node)
-
-
-def _group_column(result: EvalResult, n_groups: int) -> list[Any]:
-    """Align an evaluation over the representative batch to one value per group."""
-    if len(result.values) == n_groups:
-        return as_value_list(result.values)
-    if len(result.values) == 0:
-        # non-aggregate expression over the empty implicit group
-        return [None] * n_groups
-    return as_value_list(result.broadcast(n_groups))
-
-
-def _collect_aggregates(expression: ast.Expression,
-                        out: list[ast.FunctionCall]) -> None:
-    """Collect every aggregate call in the tree (not descending into them)."""
-    if isinstance(expression, ast.FunctionCall) and is_aggregate(expression.name):
-        out.append(expression)
-        return
-    for child in child_expressions(expression):
-        _collect_aggregates(child, out)
-
-
-def _conjuncts(expression: ast.Expression) -> Iterator[ast.Expression]:
-    """Flatten an AND tree into its conjuncts."""
-    if isinstance(expression, ast.BinaryOp) and expression.op.upper() == "AND":
-        yield from _conjuncts(expression.left)
-        yield from _conjuncts(expression.right)
-    else:
-        yield expression
-
-
-def _column_side(ref: ast.ColumnRef, left: Batch, right: Batch) -> str | None:
-    """Which join input a column reference belongs to ('left'/'right'/None).
-
-    Anything other than exactly one matching column across both inputs —
-    unknown names, names ambiguous within one side or across sides — returns
-    None so the fallback path raises the same error resolution always did.
-    """
-    matches_left = len(left.matching_columns(ref.name, ref.table))
-    matches_right = len(right.matching_columns(ref.name, ref.table))
-    if matches_left == 1 and matches_right == 0:
-        return "left"
-    if matches_right == 1 and matches_left == 0:
-        return "right"
-    return None
-
-
-def _sorted_indices(keys: list[list[Any]], descending: list[bool],
-                    row_count: int) -> Sequence[int]:
-    """Row ordering for ORDER BY: ``np.lexsort`` for NULL-free numeric keys,
-    stable Python sorts otherwise.  NULLs sort last for both ASC and DESC."""
-    arrays: list[np.ndarray] | None = []
-    for values in keys:
-        try:
-            array = np.asarray(values)
-        except (TypeError, ValueError, OverflowError):
-            arrays = None
-            break
-        if array.dtype.kind not in "biuf" or array.shape != (row_count,):
-            arrays = None
-            break
-        arrays.append(array)
-
-    if arrays:
-        sort_keys = []
-        for array, desc in zip(arrays, descending):
-            if array.dtype.kind in "bu":
-                array = array.astype(np.int64)
-            sort_keys.append(-array if desc else array)
-        # np.lexsort treats its *last* key as primary
-        return np.lexsort(tuple(reversed(sort_keys)))
-
-    indices = list(range(row_count))
-    for position in range(len(keys) - 1, -1, -1):
-        key_values = keys[position]
-        if descending[position]:
-            indices.sort(
-                key=lambda i: (key_values[i] is not None,
-                               key_values[i] if key_values[i] is not None else 0),
-                reverse=True,
-            )
-        else:
-            indices.sort(
-                key=lambda i: (key_values[i] is None,
-                               key_values[i] if key_values[i] is not None else 0),
-            )
-    return indices
-
-
-# --------------------------------------------------------------------------- #
-# result helpers
-# --------------------------------------------------------------------------- #
-def _infer_column_type(values: Sequence[Any]) -> SQLType:
-    sample = next((value for value in values if value is not None), None)
-    return infer_sql_type(sample) if sample is not None else SQLType.STRING
-
-
-def _batch_from_result(result: QueryResult, alias: str | None) -> Batch:
-    columns = [
-        BatchColumn(alias, column.name, column.sql_type, column.batch_values())
-        for column in result.columns
-    ]
-    return Batch(columns, row_count=result.row_count)
-
-
-def _distinct(result: QueryResult) -> QueryResult:
-    """Tuple-key dedup over the result columns, keeping first occurrences."""
-    seen: set[tuple] = set()
-    keep_indices: list[int] = []
-    for index, key in enumerate(zip(*[col.values for col in result.columns])):
-        if key not in seen:
-            seen.add(key)
-            keep_indices.append(index)
-    if len(keep_indices) == result.row_count:
-        return result
-    columns = [
-        ResultColumn(col.name, col.sql_type, [col.values[i] for i in keep_indices])
-        for col in result.columns
-    ]
-    return QueryResult(columns)
-
-
-def _slice_result(result: QueryResult, offset: int, limit: int | None) -> QueryResult:
-    end = None if limit is None else offset + limit
-    columns = [
-        ResultColumn(col.name, col.sql_type, col.values[offset:end])
-        for col in result.columns
-    ]
-    return QueryResult(columns)

@@ -30,7 +30,12 @@ from .aggregates import call_aggregate, is_aggregate
 from .functions import call_builtin_scalar, is_builtin_scalar
 from .types import SQLType, infer_sql_type, python_value
 from .udf import columns_to_udf_args, convert_scalar_result
-from .vector import Vector, combine_masks, remap_to_shared_dictionary
+from .vector import (
+    Vector,
+    combine_masks,
+    remap_to_shared_dictionary,
+    slice_column_values,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -77,6 +82,52 @@ def take_values(values: Any, indices: Any) -> Any:
     if isinstance(values, np.ndarray):
         return values[np.asarray(indices, dtype=np.intp)]
     return [values[index] for index in indices]
+
+
+#: Row-range slice of column data (the one slicing rule, shared with the
+#: storage layer's ``Column.scan_vector``).
+slice_values = slice_column_values
+
+
+def concat_values(pieces: Sequence[Any]) -> Any:
+    """Concatenate per-morsel column data back into one column.
+
+    Vector pieces sharing one dictionary stay dictionary-encoded; typed
+    arrays concatenate as arrays; anything else falls back to one Python
+    list.  Single pieces pass through untouched, which is what keeps the
+    single-morsel (``workers=1``) path byte-identical to whole-batch
+    execution.
+    """
+    pieces = list(pieces)
+    if len(pieces) == 1:
+        return pieces[0]
+    if not pieces:
+        return []
+    if all(isinstance(piece, Vector) for piece in pieces):
+        first = pieces[0]
+        same_dict = all(piece.dictionary is first.dictionary
+                        for piece in pieces)
+        same_type = all(piece.sql_type is first.sql_type for piece in pieces)
+        if same_dict and same_type:
+            data = np.concatenate([piece.data for piece in pieces])
+            if any(piece.mask is not None for piece in pieces):
+                mask = np.concatenate([
+                    piece.mask if piece.mask is not None
+                    else np.zeros(len(piece), dtype=bool)
+                    for piece in pieces
+                ])
+            else:
+                mask = None
+            return Vector(data, mask, first.dictionary, first.sql_type)
+    if all(isinstance(piece, np.ndarray) and piece.dtype != object
+           for piece in pieces):
+        dtypes = {piece.dtype for piece in pieces}
+        if len(dtypes) == 1:
+            return np.concatenate(pieces)
+    merged: list[Any] = []
+    for piece in pieces:
+        merged.extend(as_value_list(piece))
+    return merged
 
 
 # --------------------------------------------------------------------------- #
@@ -163,6 +214,16 @@ class Batch:
         return selected
 
     # -- row operations --------------------------------------------------- #
+    def slice(self, start: int, stop: int) -> "Batch":
+        """A row-range view of this batch (zero-copy for array columns)."""
+        stop = min(stop, self.row_count)
+        columns = [
+            BatchColumn(c.table, c.name, c.sql_type,
+                        slice_values(c.values, start, stop))
+            for c in self.columns
+        ]
+        return Batch(columns, row_count=max(stop - start, 0))
+
     def take(self, indices: Sequence[int]) -> "Batch":
         columns = [
             BatchColumn(c.table, c.name, c.sql_type, take_values(c.values, indices))
@@ -308,6 +369,18 @@ class ExpressionEvaluator:
     def contains_aggregate(self, expression: ast.Expression) -> bool:
         return expression_contains_aggregate(expression)
 
+    def _element_length(self, results: Sequence[EvalResult]) -> int:
+        """Output length for the per-element tier: the longest operand, at
+        least 1 — except over an empty batch with a row-aligned (non-
+        constant) empty operand, where the result is empty too instead of
+        broadcasting a zero-length column up to a constant's length (a
+        morsel whose filter kept no rows must evaluate to no rows)."""
+        if self.batch.row_count == 0 and any(
+                not result.constant and len(result) == 0
+                for result in results):
+            return 0
+        return max([1] + [len(result) for result in results])
+
     # ------------------------------------------------------------------ #
     # leaf nodes
     # ------------------------------------------------------------------ #
@@ -369,7 +442,7 @@ class ExpressionEvaluator:
 
         length = max(len(left), len(right))
         if not left.constant or not right.constant:
-            length = max(length, 1)
+            length = self._element_length([left, right])
         # per-element tier: operate on Python values, never numpy scalars —
         # Python ints are unbounded where int64 elements would silently wrap
         left_values = _python_elements(left.broadcast(length))
@@ -682,7 +755,7 @@ class ExpressionEvaluator:
             found = np.isin(operand.values, members)
             return EvalResult(found != node.negated, constant=False,
                               sql_type=SQLType.BOOLEAN)
-        length = max([len(operand)] + [len(r) for r in item_results])
+        length = self._element_length([operand] + item_results)
         operand_values = operand.broadcast(length)
         item_columns = [r.broadcast(length) for r in item_results]
         values: list[Any] = []
@@ -710,7 +783,7 @@ class ExpressionEvaluator:
             mask_out = combine_masks(value_mask, low_mask, high_mask)
             return self._masked_result(np.asarray(inside != node.negated),
                                        mask_out, SQLType.BOOLEAN, constant=False)
-        length = max(len(operand), len(lower), len(upper))
+        length = self._element_length([operand, lower, upper])
         ov = operand.broadcast(length)
         lv = lower.broadcast(length)
         uv = upper.broadcast(length)
@@ -744,7 +817,7 @@ class ExpressionEvaluator:
                 data = np.zeros(len(vector), dtype=np.bool_)
             return self._masked_result(data, vector.mask, SQLType.BOOLEAN,
                                        operand.constant)
-        length = max(len(operand), len(pattern))
+        length = self._element_length([operand, pattern])
         ov = operand.broadcast(length)
         pv = pattern.broadcast(length)
         values: list[Any] = []
@@ -759,11 +832,10 @@ class ExpressionEvaluator:
         when_results = [(self.evaluate(cond), self.evaluate(result))
                         for cond, result in node.whens]
         default = self.evaluate(node.default) if node.default is not None else None
-        length = 1
-        for cond, result in when_results:
-            length = max(length, len(cond), len(result))
+        parts = [part for pair in when_results for part in pair]
         if default is not None:
-            length = max(length, len(default))
+            parts.append(default)
+        length = self._element_length(parts)
         if not all(c.constant and r.constant for c, r in when_results):
             length = max(length, self.batch.row_count)
         values: list[Any] = []
@@ -847,7 +919,7 @@ class ExpressionEvaluator:
 
     def _eval_builtin(self, node: ast.FunctionCall) -> EvalResult:
         arg_results = [self.evaluate(arg) for arg in node.args]
-        length = max([1] + [len(result) for result in arg_results])
+        length = self._element_length(arg_results)
         if not all(result.constant for result in arg_results):
             length = max(length, self.batch.row_count)
         columns = [result.broadcast(length) for result in arg_results]

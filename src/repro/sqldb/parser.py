@@ -136,6 +136,9 @@ class Parser:
 
     def _parse_statement_inner(self) -> ast.Statement:
         token = self.peek()
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            return ast.Explain(self.parse_select())
         if token.is_keyword("SELECT"):
             return self.parse_select()
         if token.is_keyword("CREATE"):

@@ -26,6 +26,7 @@ happen to equal a placeholder (``""``, ``0``, ``False``) round-trip intact.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -34,7 +35,7 @@ import numpy as np
 from ..errors import CatalogError, ExecutionError
 from .schema import ColumnDef, TableSchema
 from .types import NUMPY_DTYPES, SQLType, coerce_value
-from .vector import NULL_FILL, Vector
+from .vector import NULL_FILL, Vector, slice_column_values
 
 
 @dataclass
@@ -47,6 +48,13 @@ class Column:
         default=None, init=False, repr=False, compare=False)
     _vector_cache: Vector | None = field(
         default=None, init=False, repr=False, compare=False)
+    #: Guards cache build and invalidation: concurrent morsel scans (and
+    #: multi-threaded embedders) may race a cache build against a mutation.
+    #: A build that loses the race is simply discarded by the subsequent
+    #: ``mark_dirty`` — the lock only has to make build-and-store atomic
+    #: with respect to invalidation.
+    _cache_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -67,8 +75,9 @@ class Column:
 
     def mark_dirty(self) -> None:
         """Invalidate the cached scans after an in-place mutation of values."""
-        self._array_cache = None
-        self._vector_cache = None
+        with self._cache_lock:
+            self._array_cache = None
+            self._vector_cache = None
 
     def to_numpy(self) -> np.ndarray:
         """Materialise this column as a numpy array (the UDF input format).
@@ -77,23 +86,32 @@ class Column:
         repeated scans and UDF handoffs are near-zero-copy.  Callers must
         treat the returned array as read-only.
         """
-        if self._array_cache is None:
-            array = column_to_numpy(self.values, self.sql_type)
-            # the cache is shared across scans and UDF invocations: writing
-            # through it would corrupt stored data, so fail loudly instead
-            array.setflags(write=False)
-            self._array_cache = array
-        return self._array_cache
+        array = self._array_cache
+        if array is None:
+            with self._cache_lock:
+                array = self._array_cache
+                if array is None:
+                    array = column_to_numpy(self.values, self.sql_type)
+                    # the cache is shared across scans and UDF invocations:
+                    # writing through it would corrupt stored data, so fail
+                    # loudly instead
+                    array.setflags(write=False)
+                    self._array_cache = array
+        return array
 
     def to_vector(self) -> Vector:
         """Materialise this column as a :class:`Vector` (cached, read-only)."""
-        if self._vector_cache is None:
-            vector = Vector.from_values(self.values, self.sql_type)
-            vector.data.setflags(write=False)
-            if vector.mask is not None:
-                vector.mask.setflags(write=False)
-            self._vector_cache = vector
-        return self._vector_cache
+        vector = self._vector_cache
+        if vector is None:
+            with self._cache_lock:
+                vector = self._vector_cache
+                if vector is None:
+                    vector = Vector.from_values(self.values, self.sql_type)
+                    vector.data.setflags(write=False)
+                    if vector.mask is not None:
+                        vector.mask.setflags(write=False)
+                    self._vector_cache = vector
+        return vector
 
     def scan_values(self) -> Any:
         """The batch representation the executor scans.
@@ -116,6 +134,17 @@ class Column:
         if any(value is None for value in self.values):
             return self.to_vector()
         return self.to_numpy()
+
+    def scan_vector(self, start: int, stop: int) -> Any:
+        """A zero-copy row-range slice of this column's cached scan.
+
+        Returns the same representation :meth:`scan_values` would — a typed
+        ndarray view or a :class:`Vector` slice sharing data/mask/dictionary
+        buffers — restricted to rows ``[start, stop)``.  This is the storage
+        entry point for morsel-driven scans: N morsels share one cached
+        materialisation and never copy column data.
+        """
+        return slice_column_values(self.scan_values(), start, stop)
 
     def __len__(self) -> int:
         return len(self.values)

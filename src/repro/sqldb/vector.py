@@ -222,6 +222,32 @@ class Vector:
         mask = self.mask[idx] if self.mask is not None else None
         return Vector(self.data[idx], mask, self.dictionary, self.sql_type)
 
+    def slice(self, start: int, stop: int) -> "Vector":
+        """A zero-copy view of rows ``[start, stop)``.
+
+        The data and mask are numpy views of this vector's buffers and the
+        dictionary is shared, so morsel-sized slices cost O(1) — this is the
+        shape row-range scans hand to the morsel scheduler.
+        """
+        mask = self.mask[start:stop] if self.mask is not None else None
+        return Vector(self.data[start:stop], mask, self.dictionary,
+                      self.sql_type)
+
+
+def slice_column_values(values: Any, start: int, stop: int) -> Any:
+    """Row-range slice of column data (zero-copy for arrays and vectors).
+
+    A full-range slice returns the original object, so single-morsel
+    execution shares cached scans (and their memoised UDF materialisations)
+    exactly like whole-batch execution did.  This is the one slicing rule
+    both the storage scan path and the executor batch path use.
+    """
+    if start == 0 and stop >= len(values):
+        return values
+    if isinstance(values, Vector):
+        return values.slice(start, stop)
+    return values[start:stop]
+
 
 def vector_parts(values: Any) -> tuple[np.ndarray, np.ndarray | None,
                                        np.ndarray | None] | None:

@@ -153,7 +153,9 @@ class TestDictionaryEncoding:
 class TestProtocolCompat:
     def test_v3_client_negotiates_dictionaries(self, server):
         connection = Connection.connect_in_process(server)
-        assert connection.protocol_version == PROTOCOL_VERSION == 3
+        # the default negotiation lands on this build's ceiling (v4 since
+        # streamed results); dictionary columns behave the same from v3 up
+        assert connection.protocol_version == PROTOCOL_VERSION == 4
         result = connection.execute("SELECT name, v FROM t")
         assert result.row_count == 5000
         assert result.columns[0].values[1] == "cat_1"
@@ -189,7 +191,10 @@ class TestIncrementalCursor:
         cursor = connection.cursor()
         cursor.execute("SELECT name, v FROM t")
         stream = cursor._stream
-        assert stream._assembler.expected_chunks == 5
+        # v4 streams morsels: the chunk count is unknown until the
+        # last-flagged chunk arrives
+        assert stream.streamed
+        assert stream._assembler.expected_chunks == -1
         first = cursor.fetchmany(10)
         assert len(first) == 10
         assert stream.chunks_received == 1  # only the first chunk was pulled
@@ -229,6 +234,10 @@ class TestIncrementalCursor:
         cursor = connection.cursor()
         cursor.execute("SELECT name, v FROM t")
         assert [d[0] for d in cursor.description] == ["name", "v"]
+        # a streamed (v4) result does not know its row count up front:
+        # DB-API's "unknown" value until the stream is drained
+        assert cursor.rowcount == -1
+        cursor.fetchall()
         assert cursor.rowcount == 5000
 
     def test_cursor_against_v1_server_payload(self, server):
