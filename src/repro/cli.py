@@ -178,11 +178,13 @@ def cmd_demo_server(args: argparse.Namespace) -> int:
     server, setup = demo_server(args.csv_dir,
                                 buggy_mean_deviation=not args.fixed,
                                 with_classifier=args.with_classifier,
-                                with_extras=True)
+                                with_extras=True,
+                                db_path=args.db)
     socket_server = SocketServer(server, host=args.host, port=args.port)
     host, port = socket_server.start_background()
+    mode = f"durable ({args.db})" if args.db else "in-memory"
     print(f"demo server listening on {host}:{port} "
-          f"(user=monetdb password=monetdb database=demo)")
+          f"(user=monetdb password=monetdb database=demo, {mode})")
     print(f"CSV workload: {setup.workload.total_rows} rows in "
           f"{len(setup.workload.files)} files under {setup.csv_directory}")
     print(json.dumps({"host": host, "port": port}, indent=2))
@@ -193,8 +195,10 @@ def cmd_demo_server(args: argparse.Namespace) -> int:
             pass
         finally:
             socket_server.stop()
+            server.database.close()  # auto-checkpoint for durable databases
     else:
         socket_server.stop()
+        server.database.close()
     return 0
 
 
@@ -257,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--csv-dir", required=True, dest="csv_dir")
     demo_parser.add_argument("--host", default="127.0.0.1")
     demo_parser.add_argument("--port", type=int, default=0)
+    demo_parser.add_argument("--db", default=None, metavar="PATH",
+                             help="durable single-file database path "
+                                  "(default: in-memory)")
     demo_parser.add_argument("--fixed", action="store_true",
                              help="register the corrected mean_deviation instead of the buggy one")
     demo_parser.add_argument("--with-classifier", action="store_true", dest="with_classifier")

@@ -39,6 +39,10 @@ class TypeMismatchError(ExecutionError):
     """A value could not be coerced to the declared SQL type."""
 
 
+class PersistenceError(SQLError):
+    """The on-disk database file or write-ahead log is invalid or corrupt."""
+
+
 class UDFError(ExecutionError):
     """A Python UDF raised an exception or returned an invalid result."""
 

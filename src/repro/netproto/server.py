@@ -450,3 +450,59 @@ def start_demo_server(database: Database | None = None, *,
     socket_server = SocketServer(database_server, host=host, port=port)
     address = socket_server.start_background()
     return database_server, socket_server, address
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.netproto.server`` — a standalone database server.
+
+    With ``--db`` the server is durable: state is recovered from the file +
+    WAL on start, every mutation is write-ahead logged, and shutdown (clean
+    exit or Ctrl-C) checkpoints automatically.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve a repro-monetdb database over the wire protocol")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: pick a free port)")
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="durable single-file database path "
+                             "(default: in-memory)")
+    parser.add_argument("--name", default="demo", help="database name")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="morsel-parallel worker threads")
+    parser.add_argument("--user", default="monetdb")
+    parser.add_argument("--password", default="monetdb")
+    parser.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
+                        dest="chunk_rows", help="result rows per chunk frame")
+    args = parser.parse_args(argv)
+
+    database = Database(name=args.name, path=args.db, workers=args.workers)
+    database_server = DatabaseServer(
+        database, default_user=args.user, default_password=args.password,
+        result_chunk_rows=args.chunk_rows)
+    socket_server = SocketServer(database_server, host=args.host,
+                                 port=args.port)
+    host, port = socket_server.start_background()
+    mode = f"durable ({args.db})" if args.db else "in-memory"
+    print(f"server listening on {host}:{port} "
+          f"(user={args.user} database={args.name}, {mode})")
+    print(json.dumps({"host": host, "port": port, "db": args.db}, indent=2))
+    try:
+        socket_server._thread.join()  # noqa: SLF001 - foreground serve
+    except KeyboardInterrupt:
+        pass
+    finally:
+        socket_server.stop()
+        # auto-checkpoint on shutdown for durable databases
+        database.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    import sys
+
+    sys.exit(main())

@@ -263,3 +263,8 @@ class Explain(Statement):
     """``EXPLAIN <select>`` — render the physical operator plan."""
 
     query: Select
+
+
+@dataclass
+class Checkpoint(Statement):
+    """``CHECKPOINT`` — persist the database image and truncate the WAL."""

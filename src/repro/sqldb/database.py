@@ -9,9 +9,10 @@ would talk to a remote server.
 
 from __future__ import annotations
 
+import os
 import re
 import threading
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..errors import ExecutionError
 from . import ast_nodes as ast
@@ -28,9 +29,12 @@ from .schema import FunctionSignature
 from .storage import Storage
 from .udf import UDFRuntime
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .persist import CheckpointStats, PersistentStore
+
 
 class Database:
-    """An embedded, in-memory, MonetDB-flavoured SQL database.
+    """An embedded, MonetDB-flavoured SQL database.
 
     ``workers`` enables morsel-driven parallel SELECT execution: with
     ``workers > 1`` large scans, join probes and aggregations are split into
@@ -39,11 +43,24 @@ class Database:
     a single morsel — byte-identical to the pre-pipeline engine — and inputs
     below ``parallel_threshold`` rows never pay pool overhead even when
     parallelism is on.
+
+    ``path`` makes the database durable: state lives in a single columnar
+    file plus a write-ahead log (``<path>.wal``).  Opening recovers the last
+    checkpoint and replays the log (discarding a torn tail from a crash);
+    every SQL-level mutation is WAL-logged, ``CHECKPOINT`` (or
+    :meth:`checkpoint`) rewrites the file and truncates the log, and
+    :meth:`close` checkpoints automatically.  The default ``path=None``
+    keeps the engine fully in-memory, exactly as before.  Mutations made by
+    poking storage internals directly (tests, bulk loaders) bypass the WAL
+    and become durable at the next checkpoint.
     """
 
     def __init__(self, name: str = "demo", *, workers: int = 1,
                  morsel_rows: int = DEFAULT_MORSEL_ROWS,
-                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD) -> None:
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 path: str | os.PathLike[str] | None = None,
+                 segment_rows: int | None = None,
+                 wal_fsync_batch: int | None = None) -> None:
         self.name = name
         self.storage = Storage()
         self.catalog = FunctionCatalog()
@@ -57,10 +74,31 @@ class Database:
         #: report "server round trips".
         self.statements_executed = 0
         self.query_log: list[str] = []
+        #: Durable-store handle; ``None`` for the in-memory default.  Import
+        #: lazily: the persist package pulls in the wire codecs, whose
+        #: package imports this module (cycle at module-import time only).
+        self.persistence: "PersistentStore | None" = None
+        if path is not None:
+            from .persist import (
+                DEFAULT_FSYNC_BATCH,
+                DEFAULT_SEGMENT_ROWS,
+                PersistentStore,
+            )
+
+            self.persistence = PersistentStore(
+                path, self,
+                segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS,
+                fsync_batch=wal_fsync_batch or DEFAULT_FSYNC_BATCH)
+            self.persistence.open()
 
     @property
     def workers(self) -> int:
         return self.scheduler.workers
+
+    @property
+    def path(self) -> str | None:
+        """The durable file path, or ``None`` for an in-memory database."""
+        return str(self.persistence.path) if self.persistence else None
 
     # ------------------------------------------------------------------ #
     # SQL execution
@@ -114,9 +152,32 @@ class Database:
             plan.prepare()
         return StreamedResult(plan, max_rows=max_rows)
 
+    def checkpoint(self) -> "CheckpointStats":
+        """Write a fresh database image and truncate the write-ahead log.
+
+        Raises :class:`ExecutionError` for in-memory databases — there is
+        nothing durable to checkpoint, and silently succeeding would let an
+        operator believe data survived a restart.
+        """
+        with self._lock:
+            if self.persistence is None:
+                raise ExecutionError(
+                    "CHECKPOINT requires a persistent database "
+                    "(open it with Database(path=...))")
+            return self.persistence.checkpoint()
+
     def close(self) -> None:
-        """Release the worker pool (the database stays usable afterwards:
-        the next parallel query lazily recreates it)."""
+        """Release the worker pool; checkpoint and seal a persistent database.
+
+        An in-memory database stays usable afterwards (the next parallel
+        query lazily recreates the pool).  A persistent database writes a
+        final checkpoint, truncates its WAL and closes the log file — after
+        that, further mutations raise rather than silently losing
+        durability.
+        """
+        with self._lock:
+            if self.persistence is not None and not self.persistence.closed:
+                self.persistence.close(checkpoint=True)
         self.scheduler.shutdown()
 
     # ------------------------------------------------------------------ #
@@ -124,8 +185,28 @@ class Database:
     # ------------------------------------------------------------------ #
     def create_function(self, signature: FunctionSignature, *, replace: bool = True) -> None:
         """Register a UDF directly from a signature object (bypassing SQL)."""
+        if not replace and self.catalog.has(signature.name):
+            # raises the canonical duplicate-function error; nothing to log
+            self.catalog.register(signature, replace=False)
+        # log before applying (registration can no longer fail), so a WAL
+        # failure leaves memory and disk agreeing
+        if self.persistence is not None:
+            from .persist.records import signature_to_record
+
+            self.wal_log({"op": "create_function",
+                          "signature": signature_to_record(signature)})
         self.catalog.register(signature, replace=replace)
         self.udf_runtime.invalidate(signature.name)
+
+    def wal_log(self, record: dict[str, Any]) -> None:
+        """Append one logical mutation record to the WAL (no-op in memory)."""
+        if self.persistence is not None:
+            self.persistence.log(record)
+
+    def wal_log_group(self, records: Any) -> None:
+        """Append one statement's records as an all-or-nothing WAL group."""
+        if self.persistence is not None:
+            self.persistence.log_group(records)
 
     def table_names(self) -> list[str]:
         return self.storage.table_names()

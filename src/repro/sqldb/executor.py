@@ -28,7 +28,7 @@ from .plan import Planner, SelectPlan
 from .result import QueryResult, ResultColumn
 from .schema import ColumnDef, FunctionSignature, TableSchema
 from .storage import Storage, Table
-from .types import ColumnType, SQLType
+from .types import ColumnType, SQLType, coerce_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .database import Database
@@ -63,6 +63,11 @@ class Executor:
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.DropTable):
+            # log before applying: the drop itself cannot fail once the
+            # table is known to exist, so a WAL failure leaves memory and
+            # disk agreeing (nothing happened)
+            if self.storage.has_table(statement.name):
+                self._log_wal({"op": "drop_table", "name": statement.name})
             self.storage.drop_table(statement.name, if_exists=statement.if_exists)
             return QueryResult.empty(statement_type="DROP TABLE")
         if isinstance(statement, ast.InsertValues):
@@ -76,12 +81,92 @@ class Executor:
         if isinstance(statement, ast.CreateFunction):
             return self._execute_create_function(statement)
         if isinstance(statement, ast.DropFunction):
+            if self.catalog.has(statement.name):
+                self._log_wal({"op": "drop_function", "name": statement.name})
             self.catalog.drop(statement.name, if_exists=statement.if_exists)
             self.database.udf_runtime.invalidate(statement.name)
             return QueryResult.empty(statement_type="DROP FUNCTION")
         if isinstance(statement, ast.CopyInto):
             return self._execute_copy(statement)
+        if isinstance(statement, ast.Checkpoint):
+            return self._execute_checkpoint()
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # write-ahead logging (persistent databases only)
+    # ------------------------------------------------------------------ #
+    @property
+    def _wal_enabled(self) -> bool:
+        return self.database.persistence is not None
+
+    def _log_wal(self, record: dict[str, Any]) -> None:
+        self.database.wal_log(record)
+
+    def _log_wal_group(self, records: Any) -> None:
+        """Append one statement's records as an all-or-nothing WAL group."""
+        self.database.wal_log_group(records)
+
+    #: Rows per ``insert``/``update`` WAL record.  Bulk statements are
+    #: logged as a *group* of bounded records rather than one unbounded one:
+    #: the reader treats an over-large length field as tail corruption (so a
+    #: single giant record could be silently discarded on recovery), and the
+    #: group would otherwise hold a full Python copy of the load in memory
+    #: while encoding.  Every record but the group's last carries
+    #: ``"more": True``; recovery only applies a group once its final record
+    #: is intact, so a crash inside the group cannot replay half a statement.
+    _WAL_INSERT_CHUNK_ROWS = 8192
+
+    def _insert_chunk_records(self, table: Table, start_row: int,
+                              leader: dict[str, Any] | None):
+        """Yield the chunked ``insert`` records for rows past ``start_row``.
+
+        Values are read back from storage, so the WAL carries the coerced
+        representation that replay re-coerces idempotently.  A generator so
+        the group append holds at most one chunk in memory at a time.
+        """
+        total = table.row_count
+        if leader is not None:
+            yield {**leader, "more": True} if total > start_row else leader
+        for chunk_start in range(start_row, total,
+                                 self._WAL_INSERT_CHUNK_ROWS):
+            chunk_stop = min(chunk_start + self._WAL_INSERT_CHUNK_ROWS, total)
+            rows = [[column.values[index] for column in table.columns]
+                    for index in range(chunk_start, chunk_stop)]
+            record: dict[str, Any] = {"op": "insert", "table": table.name,
+                                      "rows": rows}
+            if chunk_stop < total:
+                record["more"] = True
+            yield record
+
+    def _log_inserted(self, table: Table, start_row: int,
+                      leader: dict[str, Any] | None = None) -> None:
+        """Log the rows appended to ``table`` since ``start_row``.
+
+        ``leader`` (a DDL record such as CTAS's ``create_table``) joins the
+        same atomic group, so a crash can never recover the DDL effect
+        without the rows that belong to the same statement.
+        """
+        if not self._wal_enabled:
+            return
+        if leader is None and table.row_count <= start_row:
+            return
+        self._log_wal_group(
+            self._insert_chunk_records(table, start_row, leader))
+
+    @staticmethod
+    def _rollback_inserted(table: Table, start_row: int) -> None:
+        """Undo rows appended since ``start_row`` (failed INSERT/COPY).
+
+        Keeps the statement atomic: without this, a coercion error halfway
+        through a multi-row insert — or a WAL append failure after the rows
+        were applied — would leave rows that are visible in memory but
+        absent from the WAL, so the live and recovered states of a
+        persistent database would silently diverge.
+        """
+        for column in table.columns:
+            if len(column.values) > start_row:
+                del column.values[start_row:]
+                column.mark_dirty()
 
     # ------------------------------------------------------------------ #
     # SELECT: planner + morsel driver
@@ -107,36 +192,77 @@ class Executor:
             columns = [
                 ColumnDef(col.name, ColumnType(col.sql_type)) for col in result.columns
             ]
+            created = not self.storage.has_table(statement.name)
             table = self.storage.create_table(
                 TableSchema(statement.name, columns), if_not_exists=statement.if_not_exists
             )
-            for row in result.rows():
-                table.insert_row(row)
+            before = table.row_count
+            try:
+                for row in result.rows():
+                    table.insert_row(row)
+                # the create_table record leads the insert group: recovery
+                # applies DDL and rows of one CTAS all-or-nothing
+                self._log_inserted(
+                    table, before,
+                    leader=self._create_table_record(table) if created else None)
+            except Exception:
+                self._rollback_inserted(table, before)
+                if created:
+                    self.storage.drop_table(table.name, if_exists=True)
+                raise
             return QueryResult.empty(affected_rows=result.row_count,
                                      statement_type="CREATE TABLE AS")
+        # TableSchema construction already validated the column list, so
+        # creating a known-missing table cannot fail: log before applying
+        # and a WAL failure leaves memory and disk agreeing (nothing happened)
         schema = TableSchema(statement.name, list(statement.columns))
+        if self._wal_enabled and not self.storage.has_table(statement.name):
+            from .persist.records import schema_to_record
+
+            self._log_wal({"op": "create_table",
+                           "schema": schema_to_record(schema)})
         self.storage.create_table(schema, if_not_exists=statement.if_not_exists)
         return QueryResult.empty(statement_type="CREATE TABLE")
+
+    def _create_table_record(self, table: Table) -> dict[str, Any]:
+        from .persist.records import schema_to_record
+
+        return {"op": "create_table", "schema": schema_to_record(table.schema)}
+
+    def _insert_aligned_rows(self, table: Table, columns: Sequence[str],
+                             rows: Any) -> int:
+        """Apply + WAL-log one insert statement atomically.
+
+        Any failure — a bad value mid-loop or the WAL append itself — rolls
+        the in-memory rows back, so live state never diverges from what a
+        crash would recover.
+        """
+        inserted = 0
+        before = table.row_count
+        try:
+            for row in rows:
+                full_row = self._align_insert_row(table, columns, row)
+                table.insert_row(full_row)
+                inserted += 1
+            self._log_inserted(table, before)
+        except Exception:
+            self._rollback_inserted(table, before)
+            raise
+        return inserted
 
     def _execute_insert_values(self, statement: ast.InsertValues) -> QueryResult:
         table = self.storage.table(statement.table)
         evaluator = ExpressionEvaluator(self.database, Batch.empty())
-        inserted = 0
-        for row_exprs in statement.rows:
-            values = [evaluator.evaluate(expr).values[0] for expr in row_exprs]
-            full_row = self._align_insert_row(table, statement.columns, values)
-            table.insert_row(full_row)
-            inserted += 1
+        rows = ([evaluator.evaluate(expr).values[0] for expr in row_exprs]
+                for row_exprs in statement.rows)
+        inserted = self._insert_aligned_rows(table, statement.columns, rows)
         return QueryResult.empty(affected_rows=inserted, statement_type="INSERT")
 
     def _execute_insert_select(self, statement: ast.InsertSelect) -> QueryResult:
         table = self.storage.table(statement.table)
         result = self.execute_select(statement.query)
-        inserted = 0
-        for row in result.rows():
-            full_row = self._align_insert_row(table, statement.columns, list(row))
-            table.insert_row(full_row)
-            inserted += 1
+        inserted = self._insert_aligned_rows(
+            table, statement.columns, (list(row) for row in result.rows()))
         return QueryResult.empty(affected_rows=inserted, statement_type="INSERT")
 
     @staticmethod
@@ -160,6 +286,10 @@ class Executor:
         table = self.storage.table(statement.table)
         if statement.where is None:
             removed = table.row_count
+            # log before applying: truncate cannot fail, so a WAL failure
+            # leaves memory and disk agreeing (nothing happened)
+            if removed:
+                self._log_wal({"op": "truncate", "table": table.name})
             table.truncate()
             return QueryResult.empty(affected_rows=removed, statement_type="DELETE")
         batch = self._batch_from_table(table, alias=table.name)
@@ -169,6 +299,16 @@ class Executor:
             keep: Sequence[bool] = ~mask
         else:
             keep = [not selected for selected in mask]
+        count_before = table.row_count
+        removed_count = count_before - int(np.count_nonzero(
+            np.asarray(keep, dtype=bool)))
+        # log before applying — delete_rows on a length-validated mask
+        # cannot fail
+        if removed_count and self._wal_enabled:
+            from .persist.records import pack_mask
+
+            self._log_wal({"op": "delete", "table": table.name,
+                           "keep": pack_mask(keep), "count": count_before})
         removed = table.delete_rows(keep)
         return QueryResult.empty(affected_rows=removed, statement_type="DELETE")
 
@@ -184,8 +324,43 @@ class Executor:
         for column_name, expression in statement.assignments:
             result = evaluator.evaluate(expression)
             assignments[column_name] = result.broadcast(table.row_count)
+        # log before applying: the records carry the same coerced values
+        # update_rows will store (coercion is deterministic, so pre-coercion
+        # succeeding means the apply cannot fail), and a WAL failure
+        # therefore leaves memory and disk agreeing (nothing happened)
+        if self._wal_enabled:
+            self._log_wal_group(self._update_records(table, mask, assignments))
         updated = table.update_rows(mask, assignments)
         return QueryResult.empty(affected_rows=updated, statement_type="UPDATE")
+
+    def _update_records(self, table: Table, mask: Sequence[bool],
+                        assignments: dict[str, list[Any]]):
+        """Yield chunked ``update`` records: (selected indices, coerced values).
+
+        Only the selected positions travel — an UPDATE of 1 row in a
+        million-row table logs one value per assigned column, not a column
+        image — and wide updates split into bounded ``more``-flagged chunks
+        like bulk inserts (a generator, so the group append holds one
+        chunk's coerced copy at a time).
+        """
+        selected = np.flatnonzero(np.asarray(mask, dtype=bool)).tolist()
+        sql_types = {name: table.column(name).sql_type for name in assignments}
+        count = table.row_count
+        for chunk_start in range(0, len(selected),
+                                 self._WAL_INSERT_CHUNK_ROWS):
+            chunk = selected[chunk_start:chunk_start
+                             + self._WAL_INSERT_CHUNK_ROWS]
+            columns = {
+                name: [coerce_value(values[index], sql_types[name])
+                       for index in chunk]
+                for name, values in assignments.items()
+            }
+            record: dict[str, Any] = {"op": "update", "table": table.name,
+                                      "count": count, "indices": chunk,
+                                      "columns": columns}
+            if chunk_start + self._WAL_INSERT_CHUNK_ROWS < len(selected):
+                record["more"] = True
+            yield record
 
     def _execute_create_function(self, statement: ast.CreateFunction) -> QueryResult:
         signature = FunctionSignature(
@@ -197,16 +372,38 @@ class Executor:
             language=statement.language,
             body=statement.body,
         )
-        self.catalog.register(signature, replace=statement.or_replace)
-        self.database.udf_runtime.invalidate(statement.name)
+        # one implementation of the duplicate-check / log-before-apply /
+        # register / invalidate sequence lives on the database facade
+        self.database.create_function(signature, replace=statement.or_replace)
         return QueryResult.empty(statement_type="CREATE FUNCTION")
 
     def _execute_copy(self, statement: ast.CopyInto) -> QueryResult:
         table = self.storage.table(statement.table)
-        loaded = load_csv_into_table(table, statement.path,
-                                     delimiter=statement.delimiter,
-                                     header=statement.header)
+        before = table.row_count
+        try:
+            loaded = load_csv_into_table(table, statement.path,
+                                         delimiter=statement.delimiter,
+                                         header=statement.header)
+            # the WAL carries the loaded rows themselves, not the CSV path:
+            # the file may be gone (or different) when recovery replays
+            self._log_inserted(table, before)
+        except Exception:
+            self._rollback_inserted(table, before)
+            raise
         return QueryResult.empty(affected_rows=loaded, statement_type="COPY INTO")
+
+    def _execute_checkpoint(self) -> QueryResult:
+        stats = self.database.checkpoint()
+        columns = [
+            ResultColumn("generation", SQLType.BIGINT, [stats.generation]),
+            ResultColumn("tables", SQLType.BIGINT, [stats.tables]),
+            ResultColumn("segments", SQLType.BIGINT, [stats.segments]),
+            ResultColumn("rows", SQLType.BIGINT, [stats.rows]),
+            ResultColumn("file_bytes", SQLType.BIGINT, [stats.file_bytes]),
+            ResultColumn("wal_records_truncated", SQLType.BIGINT,
+                         [stats.wal_records_truncated]),
+        ]
+        return QueryResult(columns, statement_type="CHECKPOINT")
 
     # ------------------------------------------------------------------ #
     # shared helpers

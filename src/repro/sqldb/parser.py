@@ -153,6 +153,9 @@ class Parser:
             return self._parse_update()
         if token.is_keyword("COPY"):
             return self._parse_copy()
+        if token.is_keyword("CHECKPOINT"):
+            self.advance()
+            return ast.Checkpoint()
         raise ParseError(f"unsupported statement starting with {token.value!r}",
                          token.position)
 

@@ -1,0 +1,198 @@
+"""``repro.sqldb.persist`` — durable single-file storage for the engine.
+
+The subsystem has four layers, glued together by :class:`PersistentStore`:
+
+* :mod:`~repro.sqldb.persist.format`    — the single-file columnar image
+  (segments are wire-format chunk blobs; footer carries catalog + index).
+* :mod:`~repro.sqldb.persist.wal`       — the append-only checksummed
+  write-ahead log with group-commit fsync batching.
+* :mod:`~repro.sqldb.persist.checkpoint` — atomic image rewrite + WAL reset.
+* :mod:`~repro.sqldb.persist.recovery`  — the open sequence: load image,
+  replay the same-generation WAL, discard torn tails, resume appending.
+
+``Database(path="file.db")`` owns one store; everything here is usable
+standalone for tooling (offline inspection, backup verification).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ...errors import PersistenceError
+from .checkpoint import (
+    CheckpointStats,
+    commit_checkpoint,
+    prepare_checkpoint,
+    reset_wal,
+    swap_image,
+    write_checkpoint,
+)
+from .format import (
+    DEFAULT_CODEC,
+    DEFAULT_SEGMENT_ROWS,
+    read_database,
+    write_database,
+)
+from .recovery import RecoveryReport, recover, wal_path_for
+from .wal import DEFAULT_FSYNC_BATCH, WriteAheadLog, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..database import Database
+
+__all__ = [
+    "CheckpointStats",
+    "DEFAULT_CODEC",
+    "DEFAULT_FSYNC_BATCH",
+    "DEFAULT_SEGMENT_ROWS",
+    "PersistenceError",
+    "PersistentStore",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "read_database",
+    "read_wal",
+    "recover",
+    "wal_path_for",
+    "write_checkpoint",
+    "write_database",
+]
+
+
+class PersistentStore:
+    """One database's durable state: the image file plus its WAL.
+
+    Created by :class:`repro.sqldb.Database` when a ``path`` is given.
+    ``open()`` runs recovery; :meth:`log` appends one logical mutation
+    record; :meth:`checkpoint` rewrites the image and resets the log;
+    :meth:`close` checkpoints once more and releases the file handles.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], database: "Database", *,
+                 segment_rows: int = DEFAULT_SEGMENT_ROWS,
+                 codec: str = DEFAULT_CODEC,
+                 fsync_batch: int = DEFAULT_FSYNC_BATCH) -> None:
+        self.path = Path(path)
+        self.database = database
+        self.segment_rows = max(1, int(segment_rows))
+        self.codec = codec
+        self.generation = 0
+        self.wal = WriteAheadLog(wal_path_for(self.path),
+                                 fsync_batch=fsync_batch)
+        self.last_recovery: RecoveryReport | None = None
+        self.last_checkpoint: CheckpointStats | None = None
+        self._closed = False
+        self._lock_file: Any = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def open(self) -> RecoveryReport:
+        """Run the recovery sequence and leave the WAL open for appends."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        try:
+            report = recover(self.path, self.database, self.wal)
+        except BaseException:
+            self._release_lock()
+            raise
+        self.generation = report.generation
+        self.last_recovery = report
+        return report
+
+    def _acquire_lock(self) -> None:
+        """Take an exclusive advisory lock on ``<path>.lock``.
+
+        Two live handles on the same file would append to one WAL and
+        checkpoint over each other's images, silently losing acknowledged
+        writes.  ``flock`` is released by the kernel when the process dies,
+        so a crash never leaves a stale lock behind.  Platforms without
+        ``fcntl`` (Windows) skip the guard rather than lose durability.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            return
+        lock_path = Path(str(self.path) + ".lock")
+        handle = open(lock_path, "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise PersistenceError(
+                f"database file {self.path} is locked by another process "
+                "(one writer per database file)") from None
+        self._lock_file = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_file is not None:
+            try:
+                self._lock_file.close()  # closing drops the flock
+            finally:
+                self._lock_file = None
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Flush, optionally checkpoint, and release the WAL handle."""
+        if self._closed:
+            return
+        try:
+            if checkpoint:
+                self.checkpoint()
+            else:
+                self.wal.flush()
+        finally:
+            self.wal.close()
+            self._release_lock()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # logging + checkpointing
+    # ------------------------------------------------------------------ #
+    def log(self, record: dict[str, Any]) -> None:
+        """Append one logical mutation record to the WAL."""
+        self.log_group([record])
+
+    def log_group(self, records: Any) -> None:
+        """Append one statement's records (any iterable, consumed lazily)
+        as an all-or-nothing group."""
+        if self._closed:
+            raise PersistenceError(
+                f"database file {self.path} is closed; no further writes "
+                "can be made durable")
+        self.wal.append_group(records)
+
+    def checkpoint(self) -> CheckpointStats:
+        """Write a fresh image (next generation) and reset the WAL."""
+        if self._closed:
+            raise PersistenceError(f"database file {self.path} is closed")
+        self.wal.flush()
+        # failures while preparing or swapping leave the old image + WAL
+        # fully intact (temp files are removed), so the store stays usable
+        # and the checkpoint can simply be retried
+        prepared = prepare_checkpoint(
+            self.path, self.database, generation=self.generation + 1,
+            segment_rows=self.segment_rows, codec=self.codec)
+        swap_image(self.path, prepared)
+        try:
+            stats = reset_wal(prepared, self.wal)
+        except BaseException:
+            # past the point of no return: the new image is installed but
+            # the WAL still carries the old generation.  Appending further
+            # records there would make recovery classify them as stale and
+            # drop them silently — seal the store instead.  The on-disk
+            # pair (new image + stale WAL) is consistent.
+            self._closed = True
+            self.wal.close()
+            self._release_lock()
+            raise
+        self.generation = stats.generation
+        self.last_checkpoint = stats
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PersistentStore({str(self.path)!r}, "
+                f"generation={self.generation}, closed={self._closed})")

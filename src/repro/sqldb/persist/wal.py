@@ -1,0 +1,277 @@
+"""Write-ahead log: an append-only, checksummed record stream.
+
+Every SQL-level mutation (DML and DDL) is appended to the log *after* it has
+been applied in memory but before the statement's result is returned, so a
+crash loses at most the records that were never written — never a record the
+caller saw succeed and that a subsequent ``fsync`` confirmed durable.
+
+File layout::
+
+    +----------------------------------------------+
+    | header: magic "REPROWAL" | u16 version       |
+    |         u16 reserved     | u64 generation    |
+    +----------------------------------------------+
+    | record: u32 payload length | u32 crc32       |
+    |         payload (value-codec encoded dict)   |
+    +----------------------------------------------+
+    | ...more records...                           |
+    +----------------------------------------------+
+
+Records are dictionaries encoded with the shared self-describing value codec
+(:func:`repro.netproto.wire.encode_value`) — the same bytes-level codec the
+client protocol uses, so the WAL introduces no parallel serialisation scheme.
+The crc32 covers the payload only; a torn tail (crash mid-append) is detected
+on read as a short header, short payload, or checksum mismatch, and everything
+from the first bad record onward is discarded (those statements never
+acknowledged durability).
+
+``generation`` ties a log to one checkpoint of the database file: every
+checkpoint bumps the generation and resets the log, so a stale log (crash
+between the atomic file replace and the log reset) is recognised and ignored
+instead of being replayed over a newer checkpoint.
+
+Durability policy: ``fsync_batch`` groups commits — the file is flushed to the
+OS on every append (a crash of *this process* loses nothing) but ``fsync`` to
+stable storage happens every N records and at every checkpoint/close, which is
+the classic group-commit trade between insert throughput and the window a
+whole-machine crash can lose.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ...errors import PersistenceError
+from ...netproto.wire import decode_value, encode_value
+from .records import pack_mask, unpack_mask  # noqa: F401  (record-level API)
+
+WAL_MAGIC = b"REPROWAL"
+WAL_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHQ")   # magic, version, reserved, generation
+_RECORD = struct.Struct("<II")      # payload length, payload crc32
+
+#: Exposed for recovery's torn-header detection (a crash between the
+#: truncate and the header write of a WAL reset leaves a shorter file).
+HEADER_SIZE = _HEADER.size
+
+#: fsync to stable storage every N appended records (and on flush/close).
+DEFAULT_FSYNC_BATCH = 32
+
+#: Upper bound on a single record payload; a length field beyond this is
+#: treated as tail corruption rather than an attempt to allocate gigabytes.
+_MAX_RECORD_BYTES = 1 << 30
+
+
+# --------------------------------------------------------------------------- #
+# reading
+# --------------------------------------------------------------------------- #
+@dataclass
+class WalContents:
+    """The readable prefix of a write-ahead log."""
+
+    generation: int
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Start offset of each record in ``records`` — recovery truncates back
+    #: to a record boundary when it discards an incomplete record group.
+    record_offsets: list[int] = field(default_factory=list)
+    #: File offset just past the last intact record — the truncation point
+    #: appends resume from after a torn tail.
+    good_end: int = 0
+    #: True when trailing bytes had to be discarded (torn/corrupt tail).
+    torn: bool = False
+
+
+def read_wal(path: str | os.PathLike[str]) -> WalContents:
+    """Read every intact record of a WAL file, discarding a torn tail.
+
+    Raises :class:`PersistenceError` only when the *header* is unreadable —
+    that is not a torn append but a file that was never a WAL (or lost its
+    first sectors, in which case no record boundary is trustworthy).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER.size:
+        raise PersistenceError(f"WAL {path}: truncated header")
+    magic, version, _reserved, generation = _HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        raise PersistenceError(f"WAL {path}: bad magic {magic!r}")
+    if version != WAL_VERSION:
+        raise PersistenceError(f"WAL {path}: unsupported version {version}")
+    contents = WalContents(generation=generation, good_end=_HEADER.size)
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _RECORD.size > len(data):
+            contents.torn = True
+            break
+        length, crc = _RECORD.unpack_from(data, offset)
+        payload_start = offset + _RECORD.size
+        payload_end = payload_start + length
+        if length > _MAX_RECORD_BYTES or payload_end > len(data):
+            contents.torn = True
+            break
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            contents.torn = True
+            break
+        try:
+            record = decode_value(payload)
+        except Exception:
+            contents.torn = True
+            break
+        if not isinstance(record, dict):
+            contents.torn = True
+            break
+        contents.records.append(record)
+        contents.record_offsets.append(offset)
+        offset = payload_end
+        contents.good_end = offset
+    return contents
+
+
+# --------------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------------- #
+class WriteAheadLog:
+    """Append-side handle on a WAL file.
+
+    Opened by recovery (:func:`repro.sqldb.persist.recovery.recover`), which
+    decides whether the existing log is replayed, truncated past a torn tail,
+    or reset to a new generation.  All methods are thread-safe; the database
+    additionally serialises statements under its own lock.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *,
+                 fsync_batch: int = DEFAULT_FSYNC_BATCH) -> None:
+        self.path = Path(path)
+        self.fsync_batch = max(1, int(fsync_batch))
+        self._file: Any = None
+        self._pending = 0
+        self._lock = threading.Lock()
+        self.records_appended = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def open_at(self, good_end: int) -> None:
+        """Open for appending at ``good_end``, truncating anything beyond it
+        (the discarded torn tail must not precede future intact records)."""
+        with self._lock:
+            if self._file is not None:
+                raise PersistenceError(f"WAL {self.path} is already open")
+            self._file = open(self.path, "r+b")
+            self._file.truncate(good_end)
+            self._file.seek(good_end)
+
+    def create(self, generation: int) -> None:
+        """Create (or overwrite) the log with a fresh header; fsynced."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+            self._file = open(self.path, "w+b")
+            self._write_header(generation)
+
+    def reset(self, generation: int) -> None:
+        """Truncate to an empty log for a new checkpoint generation; fsynced."""
+        with self._lock:
+            if self._file is None:
+                raise PersistenceError(f"WAL {self.path} is closed")
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._write_header(generation)
+            self._pending = 0
+
+    def _write_header(self, generation: int) -> None:
+        self._file.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0, generation))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is None:
+                return
+            self._sync()
+            self._file.close()
+            self._file = None
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record; flushed to the OS always, fsynced per batch."""
+        self.append_group([record])
+
+    def append_group(self, records: Any) -> None:
+        """Append an iterable of records as one all-or-nothing unit.
+
+        Statement groups (chunked bulk loads, CTAS create+rows) must never
+        end up partially on disk with a *complete*-looking final record:
+        **any** failure — a frame write, the flush, or the batch ``fsync``
+        itself — truncates the file back to where the group started, so
+        recovery never sees a half group (or an unacknowledged one) that a
+        later successful append would make look complete.  (A torn *final*
+        frame needs no help — the checksum reader discards it.)
+
+        Records are encoded and written one at a time, so a million-row
+        load never holds more than one chunk's frame in memory here.
+        """
+        with self._lock:
+            if self._file is None:
+                raise PersistenceError(
+                    f"WAL {self.path} is closed (database was closed?)")
+            group_start = self._file.tell()
+            written = 0
+            counted = False
+            try:
+                for record in records:
+                    payload = encode_value(record)
+                    if len(payload) > _MAX_RECORD_BYTES:
+                        # the reader treats an over-large length as tail
+                        # corruption and would silently discard the record
+                        # on recovery — fail loudly at write time instead
+                        # (callers chunk bulk loads into bounded records,
+                        # so hitting this means a bug)
+                        raise PersistenceError(
+                            f"WAL record of {len(payload)} bytes exceeds "
+                            f"the {_MAX_RECORD_BYTES}-byte record limit")
+                    self._file.write(
+                        _RECORD.pack(len(payload), zlib.crc32(payload))
+                        + payload)
+                    written += 1
+                self._file.flush()
+                self.records_appended += written
+                self._pending += written
+                counted = True
+                if self._pending >= self.fsync_batch:
+                    self._sync()
+            except BaseException:
+                if counted:
+                    self.records_appended -= written
+                    self._pending -= written
+                try:
+                    self._file.truncate(group_start)
+                    self._file.seek(group_start)
+                    self._file.flush()
+                except OSError:  # pragma: no cover - disk-level failure
+                    pass
+                raise
+
+    def flush(self) -> None:
+        """Force pending records to stable storage (group-commit barrier)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._sync()
+
+    def _sync(self) -> None:
+        os.fsync(self._file.fileno())
+        self._pending = 0

@@ -69,8 +69,12 @@ class Column:
         self.mark_dirty()
 
     def extend(self, values: Iterable[Any]) -> None:
+        # coerce everything *before* touching the stored list: a coercion
+        # error halfway through a lazy generator would otherwise leave the
+        # column partially extended with the scan caches never invalidated
         sql_type = self.sql_type
-        self.values.extend(coerce_value(value, sql_type) for value in values)
+        coerced = [coerce_value(value, sql_type) for value in values]
+        self.values.extend(coerced)
         self.mark_dirty()
 
     def mark_dirty(self) -> None:
@@ -243,8 +247,13 @@ class Table:
                 f"INSERT into {self.name!r}: expected {len(self.columns)} values, "
                 f"got {len(values)}"
             )
-        for column, value in zip(self.columns, values):
-            column.append(value)
+        # coerce the whole row up front so a bad value in column k cannot
+        # leave columns 0..k-1 one row longer than the rest (ragged table)
+        coerced = [coerce_value(value, column.sql_type)
+                   for column, value in zip(self.columns, values)]
+        for column, value in zip(self.columns, coerced):
+            column.values.append(value)
+            column.mark_dirty()
 
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         count = 0
@@ -266,13 +275,30 @@ class Table:
         return removed
 
     def update_rows(self, mask: Sequence[bool], assignments: dict[str, list[Any]]) -> int:
-        """Apply per-row new values for the columns in ``assignments`` where mask is True."""
+        """Apply per-row new values for the columns in ``assignments`` where mask is True.
+
+        All values are coerced before any column is touched: a bad value
+        must fail the whole statement, not leave some rows updated with the
+        scan caches never invalidated (the caches would then serve data the
+        stored lists no longer contain).
+        """
+        coerced: dict[str, list[tuple[int, Any]]] = {}
         for col_name, new_values in assignments.items():
             column = self.column(col_name)
-            for index, (selected, new_value) in enumerate(zip(mask, new_values)):
-                if selected:
-                    column.values[index] = coerce_value(new_value, column.sql_type)
-            column.mark_dirty()
+            coerced[col_name] = [
+                (index, coerce_value(new_value, column.sql_type))
+                for index, (selected, new_value) in enumerate(zip(mask, new_values))
+                if selected
+            ]
+        for col_name, updates in coerced.items():
+            column = self.column(col_name)
+            try:
+                for index, value in updates:
+                    column.values[index] = value
+            finally:
+                # invalidate even on an impossible mid-write failure: a
+                # partially updated column must never serve a stale cache
+                column.mark_dirty()
         return sum(1 for selected in mask if selected)
 
     def truncate(self) -> None:

@@ -308,7 +308,9 @@ def setup_numbers_database(database: Database, csv_directory: str, *,
     workload = generate_csv_directory(csv_directory, n_files=n_files,
                                       rows_per_file=rows_per_file, seed=seed)
     database.execute("CREATE TABLE IF NOT EXISTS numbers (i INTEGER)")
-    if load_with == "copy":
+    # idempotent for durable databases: a recovered `numbers` already holds
+    # its rows, and re-running COPY INTO would duplicate them
+    if load_with == "copy" and database.row_count("numbers") == 0:
         for path in workload.files:
             database.execute(f"COPY INTO numbers FROM '{path}'")
     return DemoSetup(workload=workload, csv_directory=str(workload.directory))
@@ -323,14 +325,19 @@ def setup_classifier_database(database: Database, *, n_rows: int = 120,
         "CREATE TABLE IF NOT EXISTS trainingset (f0 DOUBLE, f1 DOUBLE, label INTEGER)")
     database.execute(
         "CREATE TABLE IF NOT EXISTS testingset (f0 DOUBLE, f1 DOUBLE, label INTEGER)")
-    for index in range(n_rows):
-        table = "trainingset" if index < split else "testingset"
-        database.execute(
-            f"INSERT INTO {table} VALUES ({float(dataset.data[index, 0])}, "
-            f"{float(dataset.data[index, 1])}, {int(dataset.labels[index])})"
-        )
-    database.execute(train_rnforest_create_sql(or_replace=True))
-    database.execute(find_best_classifier_create_sql(or_replace=True))
+    # idempotent for durable databases: recovered sets keep their rows and
+    # recovered UDFs keep any edited bodies (exported fixes survive restarts)
+    if database.row_count("trainingset") == 0 and database.row_count("testingset") == 0:
+        for index in range(n_rows):
+            table = "trainingset" if index < split else "testingset"
+            database.execute(
+                f"INSERT INTO {table} VALUES ({float(dataset.data[index, 0])}, "
+                f"{float(dataset.data[index, 1])}, {int(dataset.labels[index])})"
+            )
+    if not database.has_function("train_rnforest"):
+        database.execute(train_rnforest_create_sql(or_replace=True))
+    if not database.has_function("find_best_classifier"):
+        database.execute(find_best_classifier_create_sql(or_replace=True))
 
 
 def setup_mixed_catalog(database: Database) -> list[str]:
@@ -346,10 +353,38 @@ def setup_mixed_catalog(database: Database) -> list[str]:
 def demo_server(csv_directory: str, *, buggy_mean_deviation: bool = True,
                 buggy_loader: bool = False, with_classifier: bool = False,
                 with_extras: bool = False, n_files: int = 5,
-                rows_per_file: int = 20, seed: int = 7
+                rows_per_file: int = 20, seed: int = 7,
+                db_path: str | None = None
                 ) -> tuple[DatabaseServer, DemoSetup]:
-    """Build a fully-populated demo server (the paper's demo environment)."""
-    database = Database(name="demo")
+    """Build a fully-populated demo server (the paper's demo environment).
+
+    ``db_path`` makes the demo database durable (``Database(path=...)``):
+    the corpus setup statements are WAL-logged like any other SQL.  A
+    ``demo_meta`` marker row written as the *last* setup step records
+    completion: a restart over a completed database serves the recovered
+    state untouched (no CSV re-ingest, edited/exported UDF bodies survive),
+    while a launch that crashed mid-setup wipes the partial demo objects
+    and redoes the whole setup.
+    """
+    database = Database(name="demo", path=db_path)
+    if db_path is not None and _demo_setup_complete(database):
+        workload = generate_csv_directory(csv_directory, n_files=n_files,
+                                          rows_per_file=rows_per_file,
+                                          seed=seed)
+        # the core corpus is untouched (user edits survive), but optional
+        # corpora the original setup didn't include are topped up — their
+        # setup functions skip anything that already exists
+        if with_classifier:
+            setup_classifier_database(database)
+        if with_extras:
+            setup_mixed_catalog(database)
+        return DatabaseServer(database), DemoSetup(
+            workload=workload, csv_directory=str(workload.directory))
+    if db_path is not None:
+        # no completion marker on a durable database: wipe whatever a
+        # previous interrupted setup left behind (a fresh in-memory
+        # database can hold no leftovers, so it skips the no-op drops)
+        _reset_demo_objects(database)
     setup = setup_numbers_database(database, csv_directory, n_files=n_files,
                                    rows_per_file=rows_per_file, seed=seed)
     body = MEAN_DEVIATION_BUGGY_BODY if buggy_mean_deviation else MEAN_DEVIATION_FIXED_BODY
@@ -360,4 +395,35 @@ def demo_server(csv_directory: str, *, buggy_mean_deviation: bool = True,
         setup_classifier_database(database)
     if with_extras:
         setup_mixed_catalog(database)
+    if db_path is not None:
+        _mark_demo_setup_complete(database)
     return DatabaseServer(database), setup
+
+
+def _demo_setup_complete(database: Database) -> bool:
+    if not database.storage.has_table("demo_meta"):
+        return False
+    result = database.execute(
+        "SELECT COUNT(*) FROM demo_meta WHERE key = 'setup_complete'")
+    return bool(result.scalar())
+
+
+def _mark_demo_setup_complete(database: Database) -> None:
+    database.execute(
+        "CREATE TABLE IF NOT EXISTS demo_meta (key STRING, value STRING)")
+    database.execute(
+        "INSERT INTO demo_meta VALUES ('setup_complete', 'true')")
+
+
+def _reset_demo_objects(database: Database) -> None:
+    """Drop whatever a previous, interrupted setup managed to create.
+
+    Only reached when the completion marker is absent — i.e. on a fresh
+    database (all no-ops) or a partial one, where the half-built corpus
+    cannot hold meaningful user edits yet.
+    """
+    for table in ("numbers", "trainingset", "testingset", "demo_meta"):
+        database.execute(f"DROP TABLE IF EXISTS {table}")
+    for function in ("mean_deviation", "loadNumbers", "train_rnforest",
+                     "find_best_classifier", *EXTRA_UDFS_SQL):
+        database.execute(f"DROP FUNCTION IF EXISTS {function}")

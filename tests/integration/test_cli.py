@@ -109,3 +109,28 @@ class TestStandaloneCommands:
         out = capsys.readouterr().out
         assert "demo server listening" in out
         assert "CSV workload" in out
+
+    def test_demo_server_command_durable(self, tmp_path, capsys):
+        db_path = tmp_path / "demo.db"
+        code = main(["demo-server", "--csv-dir", str(tmp_path / "cli_csv"),
+                     "--db", str(db_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable" in out
+        # shutdown auto-checkpointed: the demo corpus survives on disk
+        assert db_path.exists()
+        from repro.sqldb.database import Database
+
+        recovered = Database(path=db_path)
+        assert recovered.row_count("numbers") > 0
+        assert recovered.has_function("mean_deviation")
+        recovered.close()
+        # a second launch over the same file serves the recovered state
+        # without re-ingesting the CSVs
+        rows_before = recovered.row_count("numbers")
+        code = main(["demo-server", "--csv-dir", str(tmp_path / "cli_csv"),
+                     "--db", str(db_path)])
+        assert code == 0
+        recheck = Database(path=db_path)
+        assert recheck.row_count("numbers") == rows_before
+        recheck.close()

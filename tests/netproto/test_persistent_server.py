@@ -1,0 +1,124 @@
+"""The server over a durable database: --db wiring and restart recovery."""
+
+from repro.netproto.client import Connection
+from repro.netproto.server import DatabaseServer, main as server_main
+from repro.sqldb.database import Database
+
+
+class TestPersistentServer:
+    def test_queries_survive_server_restart(self, tmp_path):
+        path = tmp_path / "server.db"
+        database = Database(path=path)
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (i INTEGER, s STRING)")
+        cursor.execute("INSERT INTO t VALUES (1, 'a'), (2, NULL), (3, 'a')")
+        cursor.execute("CHECKPOINT")
+        cursor.execute("INSERT INTO t VALUES (4, 'b')")
+        connection.close()
+        database.close()  # server shutdown: auto-checkpoint
+
+        # "restart": a fresh server process over the same file
+        reopened = Database(path=path)
+        server2 = DatabaseServer(reopened)
+        connection2 = Connection.connect_in_process(server2)
+        cursor2 = connection2.cursor()
+        cursor2.execute("SELECT * FROM t ORDER BY i")
+        assert cursor2.fetchall() == [(1, "a"), (2, None), (3, "a"), (4, "b")]
+        connection2.close()
+        reopened.close()
+
+    def test_mutations_through_wire_are_wal_logged(self, tmp_path):
+        import shutil
+
+        from repro.sqldb.persist import wal_path_for
+
+        path = tmp_path / "wire.db"
+        database = Database(path=path)
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (i INTEGER)")
+        cursor.execute("INSERT INTO t VALUES (7)")
+        # crash simulation: never close, just copy the files
+        crashed = tmp_path / "crash.db"
+        shutil.copy(wal_path_for(path), wal_path_for(crashed))
+        recovered = Database(path=crashed)
+        assert recovered.execute("SELECT i FROM t").fetchall() == [(7,)]
+        recovered.close()
+        connection.close()
+        database.close()
+
+
+class TestDemoServerResume:
+    def test_crashed_mid_setup_demo_redoes_setup_on_next_launch(self, tmp_path):
+        from repro.workloads.udf_corpus import demo_server
+
+        path = tmp_path / "demo.db"
+        # simulate a first launch that died after ingesting part of
+        # `numbers` but before any CREATE FUNCTION ran (the partial state is
+        # durable, and no completion marker was written)
+        partial = Database(name="demo", path=path)
+        partial.execute("CREATE TABLE numbers (i INTEGER)")
+        partial.execute("INSERT INTO numbers VALUES (1), (2), (3)")
+        partial.persistence.close(checkpoint=False)
+
+        server, setup = demo_server(str(tmp_path / "csv"), db_path=str(path))
+        database = server.database
+        # no completion marker: the partial corpus was wiped and fully
+        # rebuilt — the full CSV workload, every UDF, and the marker
+        assert database.has_function("mean_deviation")
+        assert database.has_function("loadNumbers")
+        assert database.row_count("numbers") == setup.workload.total_rows
+        database.close()
+
+    def test_completed_demo_preserves_user_edits_across_restart(self, tmp_path):
+        from repro.workloads.udf_corpus import demo_server
+
+        path = tmp_path / "demo.db"
+        server, setup = demo_server(str(tmp_path / "csv"), db_path=str(path))
+        total = setup.workload.total_rows
+        server.database.execute("DELETE FROM numbers WHERE i < 5")
+        remaining = server.database.row_count("numbers")
+        assert remaining < total
+        server.database.close()
+
+        # a completed demo restarts with the user's edits intact — the
+        # marker keeps the setup from re-ingesting the CSVs
+        server2, _setup = demo_server(str(tmp_path / "csv"), db_path=str(path))
+        assert server2.database.row_count("numbers") == remaining
+        server2.database.close()
+
+        # relaunching with an option the original setup didn't include
+        # tops up that corpus without disturbing the rest
+        server3, _setup = demo_server(str(tmp_path / "csv"), db_path=str(path),
+                                      with_classifier=True)
+        assert server3.database.row_count("numbers") == remaining
+        assert server3.database.row_count("trainingset") > 0
+        assert server3.database.has_function("train_rnforest")
+        server3.database.close()
+
+
+class TestServerMainDbFlag:
+    def test_main_parser_accepts_db_flag(self, capsys, tmp_path, monkeypatch):
+        """``python -m repro.netproto.server --db path`` starts durable."""
+        import threading
+
+        path = tmp_path / "cli.db"
+        # pre-populate so the served state proves recovery ran
+        seeded = Database(path=path)
+        seeded.execute("CREATE TABLE greetings (s STRING)")
+        seeded.execute("INSERT INTO greetings VALUES ('hello')")
+        seeded.close()
+
+        # make the foreground join return immediately so main() exits
+        monkeypatch.setattr(threading.Thread, "join",
+                            lambda self, timeout=None: None)
+        assert server_main(["--db", str(path), "--port", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "durable" in output and str(path) in output
+        # main() closed the database (checkpoint); the file reopens intact
+        check = Database(path=path)
+        assert check.execute("SELECT s FROM greetings").scalar() == "hello"
+        check.close()

@@ -183,6 +183,12 @@ class TestDDLAndDML:
         assert isinstance(stmt, ast.DropTable)
         assert stmt.if_exists is True
 
+    def test_checkpoint(self):
+        stmt = parse_statement("CHECKPOINT")
+        assert isinstance(stmt, ast.Checkpoint)
+        stmt = parse_statement("checkpoint;")
+        assert isinstance(stmt, ast.Checkpoint)
+
     def test_insert_values(self):
         stmt = parse_statement("INSERT INTO t (i, s) VALUES (1, 'a'), (2, 'b')")
         assert isinstance(stmt, ast.InsertValues)
