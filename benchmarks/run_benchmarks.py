@@ -477,6 +477,82 @@ def _bench_columnar(result: QueryResult, codec: str, repeat: int,
     }
 
 
+def run_concurrency(*, quick: bool = False) -> dict:
+    """Concurrent clients against one server: throughput and tail latency.
+
+    N simulated clients (threads over in-process transports, so the protocol
+    and admission-control paths are measured without socket noise) share a
+    fixed total query budget.  The server keeps its default 8 execution
+    slots; at N=256 most clients sit in the admission queue, so p99 shows
+    the queueing delay an overloaded server hands out instead of failures.
+    """
+    import threading as _threading
+
+    from repro.netproto.client import Connection
+    from repro.netproto.server import DatabaseServer, ServerLimits
+
+    rows = 5_000 if quick else 20_000
+    client_counts = [1, 8] if quick else [1, 16, 256]
+    total_queries = 64 if quick else 768
+    rng = random.Random(7)
+    database = Database(workers=2)
+    database.execute("CREATE TABLE big (k INTEGER, v DOUBLE)")
+    table = database.storage.table("big")
+    table.column("k").extend(i % GROUP_COUNT for i in range(rows))
+    table.column("v").extend(rng.random() for _ in range(rows))
+    limits = ServerLimits(max_concurrent_queries=8, max_queue_depth=512,
+                          max_queue_wait=60.0)
+    server = DatabaseServer(database, limits=limits)
+    sql = "SELECT COUNT(*), SUM(v) FROM big WHERE v > 0.5"
+
+    results: dict[str, dict] = {}
+    for clients in client_counts:
+        per_client = max(1, total_queries // clients)
+        barrier = _threading.Barrier(clients + 1)
+        samples: list[float] = []
+        lock = _threading.Lock()
+
+        def client_worker() -> None:
+            connection = Connection.connect_in_process(server)
+            local: list[float] = []
+            barrier.wait()
+            for _ in range(per_client):
+                start = time.perf_counter()
+                connection.execute(sql)
+                local.append(time.perf_counter() - start)
+            connection.close()
+            with lock:
+                samples.extend(local)
+
+        threads = [_threading.Thread(target=client_worker)
+                   for _ in range(clients)]
+        rejected_before = server.stats.queries_rejected
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        samples.sort()
+        executed = len(samples)
+        results[f"concurrency_{clients}_clients"] = {
+            "clients": clients,
+            "queries_per_client": per_client,
+            "queries_total": executed,
+            "wall_seconds": round(wall, 6),
+            "queries_per_sec": round(executed / wall) if wall > 0 else None,
+            "latency_p50_ms": round(samples[executed // 2] * 1000, 3),
+            "latency_p99_ms": round(
+                samples[min(executed - 1, int(executed * 0.99))] * 1000, 3),
+            "latency_max_ms": round(samples[-1] * 1000, 3),
+            "rejected": server.stats.queries_rejected - rejected_before,
+            "execution_slots": limits.max_concurrent_queries,
+        }
+    database.close()
+    return results
+
+
 def run_netproto(*, quick: bool = False) -> dict:
     row_counts = [1_000, 10_000] if quick else [10_000, 100_000]
     repeat = 2 if quick else 5
@@ -526,6 +602,7 @@ def run_netproto(*, quick: bool = False) -> dict:
             "wire_bytes_ratio_legacy_over_dict": round(
                 legacy["wire_bytes"] / max(columnar_dict["wire_bytes"], 1), 2),
         }
+    results.update(run_concurrency(quick=quick))
     return {
         "suite": "netproto-columnar-transfer",
         "python": platform.python_version(),
@@ -549,6 +626,13 @@ def _print_sqldb(report: dict) -> None:
 
 def _print_netproto(report: dict) -> None:
     for name, entry in report["results"].items():
+        if "clients" in entry:
+            print(f"  {name:>24}: {entry['queries_per_sec']:>6,} q/s  "
+                  f"p50 {entry['latency_p50_ms']:8.2f} ms  "
+                  f"p99 {entry['latency_p99_ms']:9.2f} ms  "
+                  f"({entry['queries_total']} queries, "
+                  f"{entry['rejected']} rejected)")
+            continue
         legacy_ms = entry["legacy"]["encode_decode_seconds"] * 1000
         if "columnar_dict" in entry:
             print(f"  {name:>24}: v2 {entry['columnar_v2']['wire_bytes']:,} "

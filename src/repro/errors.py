@@ -11,6 +11,11 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
+    #: Whether retrying the same operation may succeed (server saturation,
+    #: dropped connections).  Clients consult this — together with statement
+    #: idempotence — before automatically retrying.
+    retryable = False
+
 
 # --------------------------------------------------------------------------- #
 # SQL engine errors
@@ -41,6 +46,18 @@ class TypeMismatchError(ExecutionError):
 
 class PersistenceError(SQLError):
     """The on-disk database file or write-ahead log is invalid or corrupt."""
+
+
+class QueryAbortedError(ExecutionError):
+    """A statement was stopped before completing (timeout or cancellation)."""
+
+
+class QueryCancelledError(QueryAbortedError):
+    """The statement was cancelled through its :class:`QueryContext`."""
+
+
+class QueryTimeoutError(QueryAbortedError):
+    """The statement exceeded its deadline and was aborted."""
 
 
 class UDFError(ExecutionError):
@@ -74,6 +91,32 @@ class WireFormatError(ProtocolError):
 
 class DecryptionError(ProtocolError):
     """An encrypted payload failed integrity verification (wrong key?)."""
+
+
+class ConnectionLostError(ProtocolError):
+    """The peer went away mid-conversation (reset, EOF, or send timeout).
+
+    Distinct from :class:`ConnectionClosedError` (local misuse of an already
+    closed connection): losing the peer is an environmental fault, so
+    idempotent statements may be retried on a fresh connection.
+    """
+
+    retryable = True
+
+
+class ServerBusyError(ProtocolError):
+    """The server refused the query: saturated or shutting down.
+
+    Carries the structured wire error ``code`` (``saturated`` /
+    ``shutting_down`` / ``session_limit``) so clients can distinguish
+    transient overload from a drain in progress.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, code: str = "saturated") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 # --------------------------------------------------------------------------- #

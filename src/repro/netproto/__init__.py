@@ -7,12 +7,15 @@ uniform sampling.
 """
 
 from .auth import UserRegistry, compute_response
+from .chaos import ChaosProxy, FaultSpec, FaultyTransport
 from .client import (
     ClientStats,
     Connection,
     ConnectionInfo,
     Cursor,
+    RetryPolicy,
     TransferOptions,
+    is_idempotent_statement,
     split_statements,
 )
 from .compression import (
@@ -37,8 +40,10 @@ from .messages import (
 )
 from .sampling import SampleSpec, sample_columns, sample_indices
 from .server import (
+    AdmissionController,
     DatabaseServer,
     InProcessTransport,
+    ServerLimits,
     ServerStats,
     Session,
     SocketServer,
@@ -47,13 +52,17 @@ from .server import (
 )
 
 __all__ = [
+    "AdmissionController",
     "CODEC_NONE",
     "CODEC_RLE",
     "CODEC_ZLIB",
+    "ChaosProxy",
     "ChunkEncoder",
     "ClientStats",
     "ColumnarResultAssembler",
     "DEFAULT_CHUNK_ROWS",
+    "FaultSpec",
+    "FaultyTransport",
     "PROTOCOL_VERSION",
     "columnar_result_messages",
     "decode_chunk",
@@ -63,7 +72,9 @@ __all__ = [
     "Cursor",
     "DatabaseServer",
     "InProcessTransport",
+    "RetryPolicy",
     "SampleSpec",
+    "ServerLimits",
     "ServerStats",
     "Session",
     "SocketServer",
@@ -71,6 +82,7 @@ __all__ = [
     "TransferOptions",
     "TransferStats",
     "UserRegistry",
+    "is_idempotent_statement",
     "available_codecs",
     "compress",
     "compression_ratio",

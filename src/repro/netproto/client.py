@@ -17,12 +17,20 @@ query drains the previous stream first so the transport never desyncs.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import AuthenticationError, ConnectionClosedError, ExecutionError, ProtocolError
+from ..errors import (
+    AuthenticationError,
+    ConnectionClosedError,
+    ConnectionLostError,
+    ExecutionError,
+    ProtocolError,
+)
 from ..sqldb.result import QueryResult
 from ..sqldb.storage import arrays_to_values
 from ..sqldb.types import SQLType
@@ -31,6 +39,8 @@ from . import compression as compression_mod
 from .auth import compute_response, _password_digest
 from .messages import (
     FORMAT_COLUMNAR,
+    MSG_CANCEL,
+    MSG_CANCELLED,
     MSG_CHALLENGE,
     MSG_CLOSE,
     MSG_ERROR,
@@ -43,6 +53,7 @@ from .messages import (
     ColumnarResultAssembler,
     TransferStats,
     decode_result,
+    exception_for_error,
 )
 from .server import DatabaseServer, InProcessTransport, SocketTransport
 
@@ -73,6 +84,50 @@ class TransferOptions:
 
 
 @dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter for retryable failures.
+
+    The client retries a statement only when both hold: the failure is
+    *retryable* (a structured server error with ``retryable: true`` — e.g.
+    admission-control saturation — or the connection dropped before the
+    reply) and the statement is *idempotent* (a read-only ``SELECT`` /
+    ``EXPLAIN``; a lost connection mid-``INSERT`` is ambiguous, so writes
+    are never retried automatically).  Delays grow as ``base_delay *
+    multiplier ** attempt`` capped at ``max_delay``, with up to
+    ``jitter`` (a 0–1 fraction) of each delay randomly shaved off so a
+    herd of rejected clients does not retry in lockstep.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a retry (``attempt`` failures so far) is still allowed."""
+        return attempt + 1 < self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        base = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        return base * (1.0 - self.jitter * random.random())
+
+    def sleep(self, attempt: int) -> None:
+        time.sleep(self.delay(attempt))
+
+
+#: Statements safe to resend after an ambiguous failure: they read, never
+#: write, so executing them 0, 1, or 2 times is indistinguishable.
+_IDEMPOTENT_KEYWORDS = frozenset({"select", "explain", "values", "show"})
+
+
+def is_idempotent_statement(sql: str) -> bool:
+    stripped = sql.lstrip().lstrip("(").lstrip()
+    first = stripped.split(None, 1)[0].lower() if stripped else ""
+    return first in _IDEMPOTENT_KEYWORDS
+
+
+@dataclass
 class ClientStats:
     """Aggregate per-connection transfer statistics."""
 
@@ -80,6 +135,8 @@ class ClientStats:
     rows_received: int = 0
     wire_bytes_received: int = 0
     raw_bytes_received: int = 0
+    retries: int = 0
+    reconnects: int = 0
     last_transfer: TransferStats | None = None
     history: list[TransferStats] = field(default_factory=list)
 
@@ -89,7 +146,8 @@ class Connection:
 
     def __init__(self, transport: InProcessTransport | SocketTransport,
                  info: ConnectionInfo, *,
-                 max_protocol_version: int = PROTOCOL_VERSION) -> None:
+                 max_protocol_version: int = PROTOCOL_VERSION,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self._transport = transport
         self.info = info
         self._closed = False
@@ -103,6 +161,17 @@ class Connection:
         self.protocol_version = 1
         self.stats = ClientStats()
         self.default_options = TransferOptions()
+        #: Backoff policy for retryable failures; ``None`` disables retries.
+        self.retry_policy = (RetryPolicy() if retry_policy is None
+                             else retry_policy)
+        #: Rebuilds the transport for reconnects and out-of-band cancels;
+        #: set by the ``connect_*`` constructors.
+        self._transport_factory: Callable[
+            [], InProcessTransport | SocketTransport] | None = None
+        #: Cancellation credentials from ``login_ok`` (None against a
+        #: pre-resilience server).
+        self.session_id: int | None = None
+        self.cancel_key: str | None = None
         self._active_stream: "ResultStream | None" = None
 
     # ------------------------------------------------------------------ #
@@ -111,20 +180,45 @@ class Connection:
     @classmethod
     def connect_in_process(cls, server: DatabaseServer,
                            info: ConnectionInfo | None = None, *,
-                           max_protocol_version: int = PROTOCOL_VERSION
+                           max_protocol_version: int = PROTOCOL_VERSION,
+                           retry_policy: RetryPolicy | None = None
                            ) -> "Connection":
         info = info or ConnectionInfo(database=server.database.name)
         connection = cls(InProcessTransport(server), info,
-                         max_protocol_version=max_protocol_version)
+                         max_protocol_version=max_protocol_version,
+                         retry_policy=retry_policy)
+        connection._transport_factory = lambda: InProcessTransport(server)
         connection.login()
         return connection
 
     @classmethod
-    def connect_tcp(cls, info: ConnectionInfo) -> "Connection":
-        transport = SocketTransport(info.host, info.port)
-        connection = cls(transport, info)
+    def connect_tcp(cls, info: ConnectionInfo, *,
+                    timeout: float = 10.0,
+                    retry_policy: RetryPolicy | None = None) -> "Connection":
+        """Connect over TCP, retrying refused/dropped connects with backoff."""
+        factory = lambda: SocketTransport(info.host, info.port,  # noqa: E731
+                                          timeout=timeout)
+        connection = cls(cls._connect_with_backoff(factory, retry_policy),
+                         info, retry_policy=retry_policy)
+        connection._transport_factory = factory
         connection.login()
         return connection
+
+    @staticmethod
+    def _connect_with_backoff(
+            factory: Callable[[], "InProcessTransport | SocketTransport"],
+            policy: RetryPolicy | None
+            ) -> "InProcessTransport | SocketTransport":
+        policy = RetryPolicy() if policy is None else policy
+        attempt = 0
+        while True:
+            try:
+                return factory()
+            except OSError:
+                if not policy.should_retry(attempt):
+                    raise
+                policy.sleep(attempt)
+                attempt += 1
 
     # ------------------------------------------------------------------ #
     # handshake
@@ -153,6 +247,11 @@ class Connection:
             raise AuthenticationError(login_reply.get("message", "login failed"))
         if login_reply.get("type") != MSG_LOGIN_OK:
             raise ProtocolError(f"unexpected login reply {login_reply.get('type')!r}")
+        # cancellation credentials (absent on pre-resilience servers)
+        raw_session = login_reply.get("session_id")
+        self.session_id = int(raw_session) if raw_session is not None else None
+        raw_key = login_reply.get("cancel_key")
+        self.cancel_key = str(raw_key) if raw_key is not None else None
         self._authenticated = True
         # The transfer key both sides derive from the user's password (paper:
         # "using the password of the database user as a key").
@@ -162,19 +261,31 @@ class Connection:
     # queries
     # ------------------------------------------------------------------ #
     def execute(self, sql: str, parameters: tuple | None = None,
-                *, options: TransferOptions | None = None) -> QueryResult:
+                *, options: TransferOptions | None = None,
+                timeout: float | None = None) -> QueryResult:
         """Execute one SQL statement and fetch the full result."""
-        return self.execute_stream(sql, parameters, options=options).result()
+        return self.execute_stream(sql, parameters, options=options,
+                                   timeout=timeout).result()
 
     def execute_stream(self, sql: str, parameters: tuple | None = None,
-                       *, options: TransferOptions | None = None
-                       ) -> "ResultStream":
+                       *, options: TransferOptions | None = None,
+                       timeout: float | None = None) -> "ResultStream":
         """Execute one SQL statement and return an incremental result stream.
 
         Against a columnar (v2+) server the stream's ``fetchone`` /
         ``fetchmany`` consume ``result_chunk`` frames lazily, yielding rows
         as soon as their chunk arrives.  Against a v1 server the full result
         is fetched eagerly and the stream merely iterates it.
+
+        ``timeout`` is a per-statement deadline in seconds, enforced
+        *server-side* at morsel boundaries (the server may clamp it to its
+        own ``statement_timeout``); expiry raises
+        :class:`~repro.errors.QueryTimeoutError`.
+
+        Retryable failures — a ``retryable`` structured error such as
+        admission-control saturation, or a dropped connection — are retried
+        with exponential backoff per :attr:`retry_policy`, but only for
+        idempotent read-only statements (see :func:`is_idempotent_statement`).
         """
         if self._closed:
             raise ConnectionClosedError("connection is closed")
@@ -186,13 +297,13 @@ class Connection:
 
             sql = _apply_parameters(sql, parameters)
         options = options or self.default_options
-        reply = self._exchange({
-            "type": MSG_QUERY,
-            "sql": sql,
-            "options": options.as_dict(),
-        })
+        request_options = options.as_dict()
+        if timeout is not None:
+            request_options["timeout"] = float(timeout)
+        request = {"type": MSG_QUERY, "sql": sql, "options": request_options}
+        reply = self._exchange_with_retry(request, sql)
         if reply.get("type") == MSG_ERROR:
-            raise ExecutionError(reply.get("message", "query failed"))
+            raise exception_for_error(reply)
         if reply.get("type") != MSG_RESULT:
             raise ProtocolError(f"unexpected reply {reply.get('type')!r}")
 
@@ -280,6 +391,86 @@ class Connection:
     def closed(self) -> bool:
         return self._closed
 
+    # ------------------------------------------------------------------ #
+    # resilience
+    # ------------------------------------------------------------------ #
+    def reconnect(self) -> None:
+        """Drop the current transport, rebuild it, and log in again."""
+        if self._transport_factory is None:
+            raise ConnectionLostError(
+                "connection lost and this connection cannot reconnect "
+                "(constructed without a transport factory)")
+        try:
+            self._transport.close()
+        except (ProtocolError, OSError):
+            pass
+        self._active_stream = None
+        self._authenticated = False
+        self._transport = self._connect_with_backoff(
+            self._transport_factory, self.retry_policy)
+        self.stats.reconnects += 1
+        self.login()
+
+    def cancel(self) -> bool:
+        """Ask the server to abort this connection's in-flight query.
+
+        Opens a *second* connection (the first is busy carrying the query)
+        and presents the ``session_id``/``cancel_key`` capability pair from
+        login.  Returns ``True`` when a running query was found and
+        cancelled; the cancelled query itself fails with
+        :class:`~repro.errors.QueryCancelledError` on this connection.
+        """
+        if self.session_id is None or self.cancel_key is None:
+            raise ProtocolError(
+                "server did not issue cancellation credentials")
+        if self._transport_factory is None:
+            raise ProtocolError("this connection cannot open a cancel channel")
+        transport = self._transport_factory()
+        try:
+            reply = transport.exchange({
+                "type": MSG_CANCEL,
+                "session_id": self.session_id,
+                "cancel_key": self.cancel_key,
+            })
+            if reply.get("type") != MSG_CANCELLED:
+                raise ProtocolError(
+                    f"unexpected cancel reply {reply.get('type')!r}")
+            return bool(reply.get("found"))
+        finally:
+            try:
+                transport.close()
+            except (ProtocolError, OSError):
+                pass
+
+    def _exchange_with_retry(self, request: dict[str, Any],
+                             sql: str) -> dict[str, Any]:
+        """Send a query, retrying retryable failures of idempotent reads."""
+        policy = self.retry_policy
+        retriable_sql = policy is not None and is_idempotent_statement(sql)
+        attempt = 0
+        while True:
+            try:
+                reply = self._exchange(request)
+            except (ConnectionLostError, OSError):
+                # the reply never arrived: ambiguous for writes, safe to
+                # resend for reads — but only once a fresh transport exists
+                if not (retriable_sql and policy.should_retry(attempt)
+                        and self._transport_factory is not None):
+                    raise
+                policy.sleep(attempt)
+                attempt += 1
+                self.stats.retries += 1
+                self.reconnect()
+                continue
+            if reply.get("type") == MSG_ERROR and reply.get("retryable"):
+                if not (retriable_sql and policy.should_retry(attempt)):
+                    return reply
+                policy.sleep(attempt)
+                attempt += 1
+                self.stats.retries += 1
+                continue
+            return reply
+
     def _exchange(self, message: dict[str, Any]) -> dict[str, Any]:
         return self._transport.exchange(message)
 
@@ -362,7 +553,7 @@ class ResultStream:
                 # a streamed server's error frame is the stream's terminal
                 # message: nothing further is on the wire
                 stream_ended = True
-                raise ExecutionError(chunk.get("message", "query failed"))
+                raise exception_for_error(chunk)
             if chunk.get("last"):
                 stream_ended = True
             columns = assembler.add_chunk(chunk)

@@ -12,7 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..errors import ProtocolError, WireFormatError
+from ..errors import (
+    AuthenticationError,
+    ProtocolError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    ServerBusyError,
+    WireFormatError,
+)
 from ..sqldb.result import QueryResult, ResultColumn
 from ..sqldb.types import SQLType
 from . import columnar as columnar_mod
@@ -47,6 +55,88 @@ MSG_RESULT_CHUNK = "result_chunk"
 MSG_ERROR = "error"
 MSG_CLOSE = "close"
 MSG_CLOSED = "closed"
+#: Out-of-band cancellation: ``{"type": "cancel", "session_id": n,
+#: "cancel_key": "..."}`` sent on a *second* connection (the target's
+#: handler thread is busy executing the query), answered with
+#: ``{"type": "cancelled", "found": bool}``.  The key is the capability the
+#: target session received in its ``login_ok``, so only the client that ran
+#: the query (or something it told) can cancel it.
+MSG_CANCEL = "cancel"
+MSG_CANCELLED = "cancelled"
+
+# --------------------------------------------------------------------------- #
+# structured error frames
+# --------------------------------------------------------------------------- #
+#: Stable machine-readable error codes carried in ``error`` messages.  The
+#: ``retryable`` flag travels alongside so old clients need no code table;
+#: new clients map codes back to the exception taxonomy in
+#: :mod:`repro.errors` via :func:`exception_for_error`.
+ERR_PROTOCOL = "protocol"
+ERR_AUTH = "auth"
+ERR_WIRE_FORMAT = "wire_format"
+ERR_EXECUTION = "execution"
+ERR_TIMEOUT = "timeout"
+ERR_CANCELLED = "cancelled"
+ERR_SATURATED = "saturated"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_SESSION_LIMIT = "session_limit"
+
+#: Exception type -> wire code, most specific first (isinstance scan).
+_ERROR_CODES: list[tuple[type, str]] = [
+    (QueryTimeoutError, ERR_TIMEOUT),
+    (QueryCancelledError, ERR_CANCELLED),
+    (ServerBusyError, ERR_SATURATED),       # overridden by exc.code below
+    (AuthenticationError, ERR_AUTH),
+    (WireFormatError, ERR_WIRE_FORMAT),
+    (ProtocolError, ERR_PROTOCOL),
+]
+
+
+def error_code_for(exc: BaseException) -> str:
+    """The wire error code for an exception (``execution`` as the default)."""
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    for exc_type, mapped in _ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return mapped
+    return ERR_EXECUTION
+
+
+def error_message_for(exc: BaseException) -> dict[str, Any]:
+    """Build the structured ``error`` frame for an exception."""
+    return {
+        "type": MSG_ERROR,
+        "error_class": type(exc).__name__,
+        "message": str(exc),
+        "code": error_code_for(exc),
+        "retryable": bool(getattr(exc, "retryable", False)),
+    }
+
+
+def exception_for_error(message: dict[str, Any]) -> ReproError:
+    """Map a structured ``error`` frame back to the exception taxonomy.
+
+    Unknown or missing codes (a pre-resilience server) fall back to
+    :class:`ExecutionError`, the exception the client always raised.
+    """
+    from ..errors import ExecutionError
+
+    code = message.get("code")
+    text = str(message.get("message", "query failed"))
+    if code == ERR_TIMEOUT:
+        return QueryTimeoutError(text)
+    if code == ERR_CANCELLED:
+        return QueryCancelledError(text)
+    if code in (ERR_SATURATED, ERR_SHUTTING_DOWN, ERR_SESSION_LIMIT):
+        return ServerBusyError(text, code=str(code))
+    if code == ERR_AUTH:
+        return AuthenticationError(text)
+    if code == ERR_WIRE_FORMAT:
+        return WireFormatError(text)
+    if code == ERR_PROTOCOL:
+        return ProtocolError(text)
+    return ExecutionError(text)
 
 
 @dataclass

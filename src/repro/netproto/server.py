@@ -13,20 +13,37 @@ through two transports:
 
 from __future__ import annotations
 
+import hmac
 import itertools
+import secrets
 import socket
 import socketserver
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
-from ..errors import AuthenticationError, ProtocolError, ReproError
+from ..errors import (
+    AuthenticationError,
+    ConnectionLostError,
+    ProtocolError,
+    QueryTimeoutError,
+    ReproError,
+    ServerBusyError,
+    WireFormatError,
+)
+from ..sqldb.context import QueryContext
 from ..sqldb.database import Database, StreamedResult
 from ..sqldb.result import QueryResult
 from . import compression as compression_mod
 from .auth import UserRegistry
 from .messages import (
     DEFAULT_CHUNK_ROWS,
+    ERR_SATURATED,
+    ERR_SESSION_LIMIT,
+    ERR_SHUTTING_DOWN,
+    MSG_CANCEL,
+    MSG_CANCELLED,
     MSG_CHALLENGE,
     MSG_CLOSE,
     MSG_CLOSED,
@@ -39,6 +56,7 @@ from .messages import (
     PROTOCOL_VERSION,
     columnar_result_messages,
     encode_result,
+    error_message_for,
     streamed_result_messages,
 )
 from .wire import decode_frame, decode_message, encode_message, read_frame
@@ -56,9 +74,13 @@ class Session:
     transfer_key: bytes | None = None
     #: Negotiated wire protocol version; 1 until the client's hello says more.
     protocol_version: int = 1
+    #: Capability token for out-of-band cancellation (shared with the client
+    #: in ``login_ok``; a ``cancel`` message must present it).
+    cancel_key: str = ""
     queries_executed: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    closed: bool = False
 
 
 @dataclass
@@ -66,11 +88,113 @@ class ServerStats:
     """Aggregate server statistics (used by the workflow benchmarks)."""
 
     sessions_opened: int = 0
+    sessions_closed: int = 0
     queries_executed: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     errors: int = 0
+    #: Resilience counters: admission rejections, cooperative aborts, and
+    #: the connection failure modes the chaos suite exercises.
+    queries_rejected: int = 0
+    queries_cancelled: int = 0
+    queries_timed_out: int = 0
+    client_disconnects: int = 0
+    idle_disconnects: int = 0
+    wire_errors: int = 0
     query_log: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ServerLimits:
+    """Admission-control and connection-survival knobs.
+
+    The defaults keep a small server responsive under misbehaving clients:
+    at most ``max_concurrent_queries`` statements execute at once, up to
+    ``max_queue_depth`` more wait ``max_queue_wait`` seconds for a slot, and
+    anything beyond that is *rejected immediately* with a structured
+    retryable error instead of queueing unboundedly.  ``statement_timeout``
+    caps every statement's runtime server-side (a client-requested timeout
+    can only tighten it).  ``idle_timeout`` reaps connections that go quiet
+    between requests; ``send_timeout`` bounds how long a slow reader can
+    block a handler thread mid-result.  ``None`` disables a knob.
+    """
+
+    max_concurrent_queries: int = 8
+    max_queue_depth: int = 16
+    max_queue_wait: float = 5.0
+    max_sessions: int | None = None
+    statement_timeout: float | None = None
+    idle_timeout: float | None = 300.0
+    send_timeout: float | None = 30.0
+
+
+class AdmissionController:
+    """Bounded concurrent-query slots with a bounded, time-limited queue."""
+
+    def __init__(self, limits: ServerLimits) -> None:
+        self.limits = limits
+        self._condition = threading.Condition(threading.Lock())
+        self.active = 0
+        self.waiting = 0
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def try_acquire(self) -> str | None:
+        """Claim a query slot; returns ``None`` or a rejection error code.
+
+        Waits up to ``max_queue_wait`` seconds when all slots are busy and
+        the wait queue has room; saturation beyond the queue (or a server
+        drain) rejects immediately so the client can back off and retry.
+        """
+        limits = self.limits
+        deadline = time.monotonic() + max(0.0, limits.max_queue_wait)
+        with self._condition:
+            if self._draining:
+                return ERR_SHUTTING_DOWN
+            if self.active < limits.max_concurrent_queries:
+                self.active += 1
+                return None
+            if self.waiting >= limits.max_queue_depth:
+                return ERR_SATURATED
+            self.waiting += 1
+            try:
+                while self.active >= limits.max_concurrent_queries:
+                    if self._draining:
+                        return ERR_SHUTTING_DOWN
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return ERR_SATURATED
+                    self._condition.wait(remaining)
+                self.active += 1
+                return None
+            finally:
+                self.waiting -= 1
+
+    def release(self) -> None:
+        with self._condition:
+            self.active = max(0, self.active - 1)
+            self._condition.notify_all()
+
+    def begin_drain(self) -> None:
+        """Reject new queries from now on; wake every queued waiter."""
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no query is active; ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self.active > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._condition.wait(remaining)
+            return True
 
 
 class DatabaseServer:
@@ -80,7 +204,8 @@ class DatabaseServer:
                  registry: UserRegistry | None = None, *,
                  default_user: str = "monetdb", default_password: str = "monetdb",
                  result_chunk_rows: int = DEFAULT_CHUNK_ROWS,
-                 workers: int = 1, stream_results: bool = True) -> None:
+                 workers: int = 1, stream_results: bool = True,
+                 limits: ServerLimits | None = None) -> None:
         self.database = database or Database(workers=workers)
         self.registry = registry or UserRegistry()
         self.result_chunk_rows = max(1, int(result_chunk_rows))
@@ -92,18 +217,93 @@ class DatabaseServer:
             self.registry.add_user(default_user, default_password,
                                    database=self.database.name)
         self.stats = ServerStats()
+        self.limits = limits or ServerLimits()
+        self.admission = AdmissionController(self.limits)
+        #: Chaos-test hook: called with a named fault point (``"query_start"``,
+        #: ``"chunk"``) before the corresponding step; a hook that raises a
+        #: :class:`ReproError` injects that failure into the normal error path.
+        self.fault_hook: Callable[[str], None] | None = None
         self._next_session = 1
         self._lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._active_queries: dict[int, QueryContext] = {}
 
     # ------------------------------------------------------------------ #
     # session management
     # ------------------------------------------------------------------ #
     def open_session(self) -> Session:
         with self._lock:
-            session = Session(session_id=self._next_session)
+            limit = self.limits.max_sessions
+            if limit is not None and len(self._sessions) >= limit:
+                raise ServerBusyError(
+                    f"session limit of {limit} reached",
+                    code=ERR_SESSION_LIMIT)
+            session = Session(session_id=self._next_session,
+                              cancel_key=secrets.token_hex(8))
             self._next_session += 1
+            self._sessions[session.session_id] = session
             self.stats.sessions_opened += 1
             return session
+
+    def close_session(self, session: Session) -> None:
+        """Release everything a connection holds; safe to call repeatedly.
+
+        Transports call this on *every* exit path — clean close, client
+        disconnect, wire garbage — so a dying connection can never leak its
+        session slot or leave a query running against a peer that is gone.
+        """
+        with self._lock:
+            if session.closed:
+                return
+            session.closed = True
+            self._sessions.pop(session.session_id, None)
+            context = self._active_queries.get(session.session_id)
+            self.stats.sessions_closed += 1
+        if context is not None:
+            context.cancel("client disconnected")
+        self._finish_query(session)
+
+    @property
+    def active_sessions(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def begin_shutdown(self) -> None:
+        """Stop admitting queries; in-flight statements keep running."""
+        self.admission.begin_drain()
+
+    def drain(self, timeout: float | None = 5.0) -> bool:
+        """Wait for in-flight queries to finish; cancel stragglers.
+
+        Returns ``True`` when the server went idle within ``timeout``; on
+        timeout every remaining query is cooperatively cancelled and we wait
+        a short grace period for the cancellations to take effect.
+        """
+        self.begin_shutdown()
+        if self.admission.wait_idle(timeout):
+            return True
+        with self._lock:
+            stragglers = list(self._active_queries.values())
+        for context in stragglers:
+            context.cancel("server shutting down")
+        return self.admission.wait_idle(1.0)
+
+    # ------------------------------------------------------------------ #
+    # query slot lifecycle
+    # ------------------------------------------------------------------ #
+    def _register_query(self, session: Session, context: QueryContext) -> None:
+        with self._lock:
+            self._active_queries[session.session_id] = context
+
+    def _finish_query(self, session: Session) -> None:
+        """Drop the session's active query and free its slot (idempotent)."""
+        with self._lock:
+            context = self._active_queries.pop(session.session_id, None)
+        if context is not None:
+            self.admission.release()
 
     # ------------------------------------------------------------------ #
     # message handling
@@ -140,18 +340,25 @@ class DatabaseServer:
                 responses = (self._handle_login(session, message),)
             elif message_type == MSG_QUERY:
                 responses = self._handle_query(session, message)
+            elif message_type == MSG_CANCEL:
+                # deliberately allowed pre-auth: a cancel arrives on a fresh
+                # connection (the original one is busy streaming the query)
+                # and is authorised by the cancel_key capability instead
+                responses = (self._handle_cancel(message),)
             elif message_type == MSG_CLOSE:
                 responses = ({"type": MSG_CLOSED},)
             else:
                 raise ProtocolError(f"unknown message type {message_type!r}")
         except ReproError as exc:
-            self.stats.errors += 1
-            responses = ({
-                "type": MSG_ERROR,
-                "error_class": type(exc).__name__,
-                "message": str(exc),
-            },)
+            responses = (self._error_response(exc),)
         yield from responses
+
+    def _error_response(self, exc: ReproError) -> dict[str, Any]:
+        """Build the structured error frame for ``exc``, updating stats."""
+        self.stats.errors += 1
+        if isinstance(exc, QueryTimeoutError):
+            self.stats.queries_timed_out += 1
+        return error_message_for(exc)
 
     def _handle_hello(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
         username = str(message.get("username", ""))
@@ -188,7 +395,36 @@ class DatabaseServer:
         session.pending_challenge = None
         session.transfer_key = account.digest
         return {"type": MSG_LOGIN_OK, "database": account.database,
-                "username": account.username}
+                "username": account.username,
+                # cancellation capability: a cancel message on any connection
+                # presenting this pair may abort this session's active query
+                "session_id": session.session_id,
+                "cancel_key": session.cancel_key}
+
+    def _handle_cancel(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Out-of-band cancellation (modelled on PostgreSQL's cancel request).
+
+        The requesting connection proves it is entitled to cancel by
+        presenting the target session's id and secret ``cancel_key`` from
+        ``login_ok``.  A bad key is indistinguishable from "no such query"
+        so the reply leaks nothing about live sessions.
+        """
+        try:
+            target_id = int(message.get("session_id", -1))
+        except (TypeError, ValueError):
+            raise ProtocolError("session_id must be an integer") from None
+        key = str(message.get("cancel_key", ""))
+        with self._lock:
+            target = self._sessions.get(target_id)
+            authorised = (target is not None and
+                          hmac.compare_digest(target.cancel_key, key))
+            context = (self._active_queries.get(target_id)
+                       if authorised else None)
+        found = context is not None
+        if found:
+            context.cancel("cancelled by client request")
+            self.stats.queries_cancelled += 1
+        return {"type": MSG_CANCELLED, "found": found}
 
     def _handle_query(self, session: Session,
                       message: dict[str, Any]) -> Iterable[dict[str, Any]]:
@@ -212,30 +448,50 @@ class DatabaseServer:
                 raise ProtocolError("no transfer key available for encryption")
             encryption_key = session.transfer_key.hex()
 
-        if session.protocol_version >= 4 and self.stream_results:
-            outcome = self.database.execute_stream(sql, max_rows=chunk_rows)
-            session.queries_executed += 1
-            self.stats.queries_executed += 1
-            self.stats.query_log.append(sql)
-            if isinstance(outcome, StreamedResult):
-                stream = streamed_result_messages(
-                    outcome.pieces(),
-                    statement_type=outcome.statement_type,
-                    affected_rows=outcome.affected_rows,
-                    compression=compression, encryption_key=encryption_key,
-                    protocol_version=session.protocol_version)
-                # pull the header eagerly: plan preparation already ran and
-                # the first morsel is computed here, so early errors still
-                # become well-formed error responses
-                header = next(stream)
-                return itertools.chain(
-                    (header,), self._guarded_chunks(stream))
-            result: QueryResult = outcome
-        else:
-            result = self.database.execute(sql)
-            session.queries_executed += 1
-            self.stats.queries_executed += 1
-            self.stats.query_log.append(sql)
+        context = QueryContext(timeout=self._effective_timeout(options))
+        rejection = self.admission.try_acquire()
+        if rejection is not None:
+            self.stats.queries_rejected += 1
+            reason = ("server is shutting down"
+                      if rejection == ERR_SHUTTING_DOWN
+                      else "server is saturated; retry with backoff")
+            raise ServerBusyError(reason, code=rejection)
+        self._register_query(session, context)
+        try:
+            self._fault("query_start")
+            if session.protocol_version >= 4 and self.stream_results:
+                outcome = self.database.execute_stream(
+                    sql, max_rows=chunk_rows, context=context)
+                session.queries_executed += 1
+                self.stats.queries_executed += 1
+                self.stats.query_log.append(sql)
+                if isinstance(outcome, StreamedResult):
+                    stream = streamed_result_messages(
+                        outcome.pieces(),
+                        statement_type=outcome.statement_type,
+                        affected_rows=outcome.affected_rows,
+                        compression=compression, encryption_key=encryption_key,
+                        protocol_version=session.protocol_version)
+                    # pull the header eagerly: plan preparation already ran
+                    # and the first morsel is computed here, so early errors
+                    # still become well-formed error responses
+                    header = next(stream)
+                    # the query slot stays held until the stream is drained
+                    # (execution continues morsel-by-morsel underneath it)
+                    return self._release_after(session, itertools.chain(
+                        (header,), self._guarded_chunks(stream)))
+                result: QueryResult = outcome
+            else:
+                result = self.database.execute(sql, context=context)
+                session.queries_executed += 1
+                self.stats.queries_executed += 1
+                self.stats.query_log.append(sql)
+        except BaseException:
+            self._finish_query(session)
+            raise
+        # materialised result: execution is done, so free the slot before
+        # the (possibly slow) encode-and-send phase
+        self._finish_query(session)
 
         if session.protocol_version >= 2:
             stream = columnar_result_messages(
@@ -257,20 +513,55 @@ class DatabaseServer:
             "stats": encoded.stats.as_dict(),
         },)
 
+    def _effective_timeout(self, options: dict[str, Any]) -> float | None:
+        """Combine the client-requested timeout with the server-side cap."""
+        raw = options.get("timeout")
+        if raw is None:
+            return self.limits.statement_timeout
+        try:
+            requested = float(raw)
+        except (TypeError, ValueError):
+            raise ProtocolError("timeout must be a number") from None
+        if requested < 0:
+            raise ProtocolError("timeout must be non-negative")
+        cap = self.limits.statement_timeout
+        return requested if cap is None else min(requested, cap)
+
+    def _fault(self, point: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point)
+
+    def _release_after(self, session: Session,
+                       stream: Iterator[dict[str, Any]]
+                       ) -> Iterator[dict[str, Any]]:
+        """Relay ``stream`` and free the query slot when it is exhausted,
+        abandoned (client disconnect closes the generator), or fails.
+
+        The slot is released *before* yielding the terminal message (the
+        ``last``-flagged chunk or an error frame): execution is complete at
+        that point, and a lazy transport may never pull the generator again
+        once it has the final frame.  The ``finally`` covers abandonment.
+        """
+        try:
+            for message in stream:
+                if message.get("last") or message.get("type") == MSG_ERROR:
+                    self._finish_query(session)
+                yield message
+        finally:
+            self._finish_query(session)
+
     def _guarded_chunks(self, stream: Iterator[dict[str, Any]]
                         ) -> Iterator[dict[str, Any]]:
         """Relay streamed chunk messages, converting a mid-stream execution
         failure into an ``error`` message (the header is already out, so the
         client sees the error while consuming chunks)."""
         try:
-            yield from stream
+            for chunk in stream:
+                self._fault("chunk")
+                yield chunk
         except ReproError as exc:
-            self.stats.errors += 1
-            yield {
-                "type": MSG_ERROR,
-                "error_class": type(exc).__name__,
-                "message": str(exc),
-            }
+            yield self._error_response(exc)
 
     # ------------------------------------------------------------------ #
     # framed entry point shared by the transports
@@ -287,9 +578,20 @@ class DatabaseServer:
         chunk per iteration, so transports can flush frame *i* before frame
         *i + 1* exists.
         """
-        request = decode_message(frame_payload)
         session.bytes_received += len(frame_payload)
         self.stats.bytes_received += len(frame_payload)
+        try:
+            request = decode_message(frame_payload)
+        except WireFormatError as exc:
+            # a well-framed but undecodable payload: framing is still in
+            # sync, so answer with a structured error and keep the
+            # connection usable
+            self.stats.wire_errors += 1
+            encoded = encode_message(self._error_response(exc))
+            session.bytes_sent += len(encoded)
+            self.stats.bytes_sent += len(encoded)
+            yield encoded
+            return
         for response in self.handle_message_stream(session, request):
             encoded = encode_message(response)
             session.bytes_sent += len(encoded)
@@ -341,34 +643,90 @@ class InProcessTransport:
         return self.receive()
 
     def close(self) -> None:
-        self.closed = True
+        if not self.closed:
+            self.closed = True
+            self.server.close_session(self.session)
 
 
 class _SocketHandler(socketserver.BaseRequestHandler):
-    """One thread per client connection."""
+    """One thread per client connection.
+
+    Every exit path — clean close, idle timeout, client vanishing
+    mid-``result_chunk`` stream, garbage bytes on the wire — releases the
+    session and is counted in :class:`ServerStats`; none of them is allowed
+    to escape as a traceback into the ``socketserver`` machinery.
+    """
 
     def handle(self) -> None:  # pragma: no cover - exercised via integration tests
         server: "SocketServer" = self.server  # type: ignore[assignment]
         database_server = server.database_server
-        session = database_server.open_session()
+        limits = database_server.limits
+        stats = database_server.stats
         stream = self.request.makefile("rwb")
+        try:
+            session = database_server.open_session()
+        except ServerBusyError as exc:
+            self._best_effort_error(stream, database_server, exc)
+            stream.close()
+            return
         try:
             while True:
                 try:
+                    self.request.settimeout(limits.idle_timeout)
                     payload = read_frame(stream)
-                except ProtocolError:
+                except ConnectionLostError:
+                    # EOF without a close message: the client hung up (a
+                    # polite close exits on MSG_CLOSE before reading EOF)
+                    stats.client_disconnects += 1
                     return
-                # write each response frame as it is encoded so the client
-                # can consume chunk i while chunk i+1 is still being built
-                for response_frame in database_server.handle_frame_stream(
-                        session, payload):
-                    stream.write(response_frame)
-                    stream.flush()
-                message = decode_message(payload)
+                except (socket.timeout, TimeoutError):
+                    stats.idle_disconnects += 1
+                    return
+                except WireFormatError as exc:
+                    # frame-level garbage: the byte stream is desynchronised,
+                    # so tell the client why (best effort) and hang up
+                    stats.wire_errors += 1
+                    self._best_effort_error(stream, database_server, exc)
+                    return
+                except OSError:
+                    stats.client_disconnects += 1
+                    return
+                try:
+                    self.request.settimeout(limits.send_timeout)
+                    # write each response frame as it is encoded so the
+                    # client can consume chunk i while chunk i+1 is built
+                    for response_frame in database_server.handle_frame_stream(
+                            session, payload):
+                        stream.write(response_frame)
+                        stream.flush()
+                except (BrokenPipeError, ConnectionResetError, socket.timeout,
+                        TimeoutError, OSError):
+                    # the client went away (or stopped reading) while we were
+                    # streaming result chunks; drop the connection quietly —
+                    # closing the response generator frees the query slot
+                    stats.client_disconnects += 1
+                    return
+                try:
+                    message = decode_message(payload)
+                except WireFormatError:
+                    continue  # already answered with a structured error
                 if message.get("type") == MSG_CLOSE:
                     return
         finally:
-            stream.close()
+            database_server.close_session(session)
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _best_effort_error(stream: Any, database_server: DatabaseServer,
+                           exc: ReproError) -> None:
+        try:
+            stream.write(encode_message(database_server._error_response(exc)))
+            stream.flush()
+        except OSError:
+            pass
 
 
 class SocketServer(socketserver.ThreadingTCPServer):
@@ -393,7 +751,10 @@ class SocketServer(socketserver.ThreadingTCPServer):
         self._thread.start()
         return self.address
 
-    def stop(self) -> None:
+    def stop(self, drain_timeout: float | None = 5.0) -> None:
+        """Graceful shutdown: stop admitting queries, drain in-flight work
+        (cancelling stragglers after ``drain_timeout``), then close."""
+        self.database_server.drain(drain_timeout)
         self.shutdown()
         self.server_close()
         if self._thread is not None:
@@ -478,12 +839,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--password", default="monetdb")
     parser.add_argument("--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
                         dest="chunk_rows", help="result rows per chunk frame")
+    parser.add_argument("--max-concurrent", type=int,
+                        default=ServerLimits.max_concurrent_queries,
+                        help="query slots executing at once")
+    parser.add_argument("--max-queue", type=int,
+                        default=ServerLimits.max_queue_depth,
+                        help="queries allowed to wait for a slot")
+    parser.add_argument("--statement-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="server-side cap on statement runtime")
+    parser.add_argument("--idle-timeout", type=float,
+                        default=ServerLimits.idle_timeout, metavar="SECONDS",
+                        help="disconnect clients idle this long")
     args = parser.parse_args(argv)
 
+    limits = ServerLimits(max_concurrent_queries=args.max_concurrent,
+                          max_queue_depth=args.max_queue,
+                          statement_timeout=args.statement_timeout,
+                          idle_timeout=args.idle_timeout)
     database = Database(name=args.name, path=args.db, workers=args.workers)
     database_server = DatabaseServer(
         database, default_user=args.user, default_password=args.password,
-        result_chunk_rows=args.chunk_rows)
+        result_chunk_rows=args.chunk_rows, limits=limits)
     socket_server = SocketServer(database_server, host=args.host,
                                  port=args.port)
     host, port = socket_server.start_background()

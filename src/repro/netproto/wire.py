@@ -90,7 +90,7 @@ from __future__ import annotations
 import struct
 from typing import Any, BinaryIO
 
-from ..errors import WireFormatError
+from ..errors import ConnectionLostError, WireFormatError
 
 #: Frame magic marker (helps catch stream desynchronisation early).
 MAGIC = b"dU"
@@ -107,7 +107,13 @@ _TAG_BYTES = b"B"
 _TAG_LIST = b"L"
 _TAG_DICT = b"M"
 
-_MAX_FRAME = 1 << 31  # defensive upper bound on frame sizes
+#: Hard cap on a single frame's payload.  A hostile (or corrupted) length
+#: prefix would otherwise make the reader allocate up to 2 GiB before a
+#: single payload byte is validated; no legitimate message comes close —
+#: result data ships in 64k-row chunks well under a megabyte each.  Both
+#: sides enforce the same cap so a conforming peer can never emit a frame
+#: the other refuses.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 # --------------------------------------------------------------------------- #
@@ -223,8 +229,10 @@ def _decode(reader: _Reader) -> Any:
 # --------------------------------------------------------------------------- #
 def encode_frame(payload: bytes) -> bytes:
     """Wrap a payload in a length-prefixed frame."""
-    if len(payload) >= _MAX_FRAME:
-        raise WireFormatError("frame too large")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit")
     return MAGIC + struct.pack(">I", len(payload)) + payload
 
 
@@ -235,6 +243,9 @@ def decode_frame(data: bytes) -> tuple[bytes, bytes]:
     if data[:2] != MAGIC:
         raise WireFormatError("bad frame magic")
     (length,) = struct.unpack(">I", data[2:6])
+    if length > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit")
     if len(data) < 6 + length:
         raise WireFormatError("incomplete frame payload")
     return data[6:6 + length], data[6 + length:]
@@ -248,12 +259,26 @@ def write_frame(stream: BinaryIO, payload: bytes) -> int:
     return len(frame)
 
 
-def read_frame(stream: BinaryIO) -> bytes:
-    """Read exactly one frame from a binary stream."""
-    header = _read_exact(stream, 6)
+def read_frame(stream: BinaryIO,
+               max_length: int = MAX_FRAME_BYTES) -> bytes:
+    """Read exactly one frame from a binary stream.
+
+    Raises :class:`~repro.errors.ConnectionLostError` when the stream ends
+    *between* frames (a clean peer disconnect) and
+    :class:`~repro.errors.WireFormatError` when it ends mid-frame, the magic
+    is wrong, or the length prefix exceeds ``max_length`` (a hostile or
+    corrupted prefix must not trigger a giant allocation).
+    """
+    first = stream.read(1)
+    if not first:
+        raise ConnectionLostError("connection closed")
+    header = first + _read_exact(stream, 5)
     if header[:2] != MAGIC:
         raise WireFormatError("bad frame magic")
     (length,) = struct.unpack(">I", header[2:6])
+    if length > max_length:
+        raise WireFormatError(
+            f"frame length {length} exceeds the {max_length}-byte limit")
     return _read_exact(stream, length)
 
 

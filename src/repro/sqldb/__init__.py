@@ -8,6 +8,7 @@ object — the MonetDB/Python behaviours the paper relies on.
 """
 
 from .catalog import CatalogFunction, FunctionCatalog, make_signature
+from .context import QueryContext
 from .database import Database
 from .parser import parse_script, parse_statement
 from .result import QueryResult, ResultColumn
@@ -26,6 +27,7 @@ __all__ = [
     "FunctionParameter",
     "FunctionSignature",
     "LoopbackConnection",
+    "QueryContext",
     "QueryResult",
     "ResultColumn",
     "SQLType",

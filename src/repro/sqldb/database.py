@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any
 from ..errors import ExecutionError
 from . import ast_nodes as ast
 from .catalog import FunctionCatalog
+from .context import QueryContext
 from .executor import Executor
 from .parallel import (
     DEFAULT_MORSEL_ROWS,
@@ -103,15 +104,25 @@ class Database:
     # ------------------------------------------------------------------ #
     # SQL execution
     # ------------------------------------------------------------------ #
-    def execute(self, sql: str, parameters: tuple | dict | None = None) -> QueryResult:
-        """Parse and execute a single SQL statement."""
+    def execute(self, sql: str, parameters: tuple | dict | None = None, *,
+                timeout: float | None = None,
+                context: QueryContext | None = None) -> QueryResult:
+        """Parse and execute a single SQL statement.
+
+        ``timeout`` (seconds) aborts the statement cooperatively at the next
+        morsel boundary once the deadline passes, raising
+        :class:`~repro.errors.QueryTimeoutError`; ``context`` passes an
+        externally cancellable :class:`QueryContext` (a wire-level ``cancel``
+        uses this).  Both may be given — the tighter deadline wins.
+        """
+        context = QueryContext.resolve(context, timeout)
         if parameters:
             sql = _apply_parameters(sql, parameters)
         with self._lock:
             self.statements_executed += 1
             self.query_log.append(sql)
             statement = parse_statement(sql)
-            return self._executor.execute(statement)
+            return self._executor.execute(statement, context=context)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script; returns one result per statement."""
@@ -127,7 +138,9 @@ class Database:
         """Execute an already-parsed SELECT (used for subqueries and loopback)."""
         return self._executor.execute_select(select)
 
-    def execute_stream(self, sql: str, *, max_rows: int | None = None
+    def execute_stream(self, sql: str, *, max_rows: int | None = None,
+                       timeout: float | None = None,
+                       context: QueryContext | None = None
                        ) -> "QueryResult | StreamedResult":
         """Execute one statement, streaming SELECT results morsel by morsel.
 
@@ -140,13 +153,14 @@ class Database:
         is available before the query finishes.  Everything else returns a
         complete :class:`QueryResult`, exactly like :meth:`execute`.
         """
+        context = QueryContext.resolve(context, timeout)
         with self._lock:
             self.statements_executed += 1
             self.query_log.append(sql)
             statement = parse_statement(sql)
             if not isinstance(statement, ast.Select):
-                return self._executor.execute(statement)
-            plan = self._executor.plan_select(statement)
+                return self._executor.execute(statement, context=context)
+            plan = self._executor.plan_select(statement, context=context)
             if not plan.streamable:
                 return plan.execute()
             plan.prepare()
@@ -238,6 +252,10 @@ class StreamedResult:
         self.plan = plan
         self.statement_type = "SELECT"
         self.affected_rows = 0
+        #: The plan's cancellation control block (``None`` when the caller
+        #: passed neither a timeout nor a context) — the wire server
+        #: registers it so a ``cancel`` message can abort the stream.
+        self.context = plan.context
         self._pieces = plan.stream_morsels(max_rows=max_rows)
 
     def __iter__(self) -> Any:

@@ -31,6 +31,7 @@ from .storage import Storage, Table
 from .types import ColumnType, SQLType, coerce_value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import QueryContext
     from .database import Database
 
 
@@ -55,9 +56,14 @@ class Executor:
     # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
-    def execute(self, statement: ast.Statement) -> QueryResult:
+    def execute(self, statement: ast.Statement, *,
+                context: "QueryContext | None" = None) -> QueryResult:
+        if context is not None:
+            # DML/DDL run whole-statement: one checkpoint up front so an
+            # already-cancelled or expired statement never starts mutating
+            context.check()
         if isinstance(statement, ast.Select):
-            return self.execute_select(statement)
+            return self.execute_select(statement, context=context)
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement)
         if isinstance(statement, ast.CreateTable):
@@ -171,12 +177,16 @@ class Executor:
     # ------------------------------------------------------------------ #
     # SELECT: planner + morsel driver
     # ------------------------------------------------------------------ #
-    def execute_select(self, select: ast.Select) -> QueryResult:
-        return self.plan_select(select).execute()
+    def execute_select(self, select: ast.Select, *,
+                       context: "QueryContext | None" = None) -> QueryResult:
+        return self.plan_select(select, context=context).execute()
 
-    def plan_select(self, select: ast.Select) -> SelectPlan:
+    def plan_select(self, select: ast.Select, *,
+                    context: "QueryContext | None" = None) -> SelectPlan:
         """Lower a SELECT into an executable physical plan."""
-        return self.planner.plan(select)
+        plan = self.planner.plan(select)
+        plan.context = context
+        return plan
 
     def _execute_explain(self, statement: ast.Explain) -> QueryResult:
         lines = self.plan_select(statement.query).explain_lines()

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import QueryContext
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -89,30 +92,55 @@ class MorselScheduler:
                     thread_name_prefix="morsel-worker")
             return self._pool
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    @staticmethod
+    def _checked(fn: Callable[[T], R],
+                 context: "QueryContext | None") -> Callable[[T], R]:
+        """Wrap ``fn`` with a cancellation checkpoint at morsel entry.
+
+        Pool-queued morsels that start *after* a cancel or an expired
+        deadline abort immediately instead of doing a full morsel's work —
+        this is what bounds abort latency to ~one in-flight morsel.
+        """
+        if context is None:
+            return fn
+
+        def checked(item: T) -> R:
+            context.check()
+            return fn(item)
+
+        return checked
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T], *,
+            context: "QueryContext | None" = None) -> list[R]:
         """Evaluate ``fn`` over ``items``; results in input order.
 
         Runs inline unless parallelism is enabled and there are at least two
         items.  The first raising item's exception propagates (as with
         sequential execution); remaining futures are left to finish.
+        ``context`` adds a cancellation checkpoint before every morsel.
         """
         items = list(items)
+        fn = self._checked(fn, context)
         if not self.parallel or len(items) < 2:
             return [fn(item) for item in items]
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
 
-    def imap(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+    def imap(self, fn: Callable[[T], R], items: Sequence[T], *,
+             context: "QueryContext | None" = None) -> Iterator[R]:
         """Like :meth:`map` but yields results lazily, still in input order.
 
         With a pool, all morsels are submitted up front and results stream
         out as each completes — the consumer (e.g. the server's chunked wire
         encoder) can ship morsel *i* while *i + 1* is still executing.  If
         the consumer abandons the iterator, unfinished futures are
-        cancelled where possible.
+        cancelled where possible.  ``context`` adds a cancellation
+        checkpoint before every morsel, so a cancel or timeout surfaces at
+        the next morsel boundary even mid-stream.
         """
         items = list(items)
+        fn = self._checked(fn, context)
         if not self.parallel or len(items) < 2:
             for item in items:
                 yield fn(item)

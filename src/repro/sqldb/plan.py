@@ -61,6 +61,7 @@ from .types import SQLType
 from .udf import convert_table_result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import QueryContext
     from .database import Database
     from .parallel import MorselScheduler
 
@@ -284,6 +285,10 @@ class SelectPlan:
         self.sort = sort
         self.limit = limit
         self.parallel_safe = statement_parallel_safe(select)
+        #: Cooperative cancellation/timeout control block; ``None`` runs
+        #: unchecked (the pre-resilience behaviour).  Set by the executor
+        #: before :meth:`prepare`.
+        self.context: "QueryContext | None" = None
         self._prepared = False
         self.root = self._link_tree()
 
@@ -332,6 +337,8 @@ class SelectPlan:
         """Bind sources and join build sides (run under the database lock)."""
         if self._prepared:
             return
+        if self.context is not None:
+            self.context.check()
         self._template = self._prepare_pipeline(self.source, self.stages)
         self._prepared = True
 
@@ -427,6 +434,11 @@ class SelectPlan:
         row_count = self.source.row_count
         if not self.parallel_safe:
             return [(0, row_count)]
+        if max_rows is None and self.context is not None:
+            # a cancellable statement needs morsel boundaries (= cancellation
+            # points) even single-worker, where the scheduler would otherwise
+            # run the whole input as one morsel
+            max_rows = self.scheduler.morsel_rows
         if max_rows is not None:
             step = max(1, min(max_rows, self.scheduler.morsel_rows))
             if row_count > step:
@@ -447,6 +459,9 @@ class SelectPlan:
         else:
             result = self._run_projection(ranges, out_batches, keep_batches)
 
+        if self.context is not None:
+            # last checkpoint before the pipeline breakers (sort etc.) run
+            self.context.check()
         if self.distinct is not None:
             result = self.distinct.apply(result)
         if self.sort is not None:
@@ -480,7 +495,7 @@ class SelectPlan:
         produced = 0
         stopped_early = False
         for piece, constant, batch, task_deferred in \
-                self.scheduler.imap(task, ranges):
+                self.scheduler.imap(task, ranges, context=self.context):
             for index, extras in task_deferred.items():
                 deferred.setdefault(index, []).extend(extras)
             pieces.append(piece)
@@ -524,7 +539,8 @@ class SelectPlan:
 
         payloads: list[Any] = []
         deferred: dict[int, list[Batch]] = {}
-        for payload, task_deferred in self.scheduler.imap(task, ranges):
+        for payload, task_deferred in self.scheduler.imap(
+                task, ranges, context=self.context):
             for index, extras in task_deferred.items():
                 deferred.setdefault(index, []).extend(extras)
             payloads.append(payload)
@@ -585,7 +601,8 @@ class SelectPlan:
         yielded = False
         exhausted = False
         for piece, constant, task_deferred in \
-                self.scheduler.imap(task, self._split_ranges(max_rows)):
+                self.scheduler.imap(task, self._split_ranges(max_rows),
+                                    context=self.context):
             for index, extras in task_deferred.items():
                 deferred.setdefault(index, []).extend(extras)
             if constant:
@@ -604,6 +621,8 @@ class SelectPlan:
                 exhausted = True
                 break
         if not exhausted:
+            if self.context is not None:
+                self.context.check()
             flush_batches: list[Batch] = []
             self._flush_deferred(stages, deferred, flush_batches)
             for batch in flush_batches:

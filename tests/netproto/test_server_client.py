@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.errors import AuthenticationError, ConnectionClosedError, ExecutionError
+from repro.errors import (
+    AuthenticationError,
+    ConnectionClosedError,
+    ExecutionError,
+    ProtocolError,
+)
 from repro.netproto.client import Connection, ConnectionInfo, TransferOptions
 from repro.netproto.compression import CODEC_ZLIB
 from repro.netproto.messages import decode_result, encode_result
@@ -82,7 +87,8 @@ class TestQueries:
         assert client.execute("SELECT 1").scalar() == 1
 
     def test_empty_query_rejected(self, client):
-        with pytest.raises(ExecutionError):
+        # structured error codes preserve the server-side exception type
+        with pytest.raises(ProtocolError):
             client.execute("   ")
 
     def test_closed_connection_rejects_queries(self, populated_server):

@@ -6,8 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import WireFormatError
+import struct
+
+from repro.errors import ConnectionLostError, WireFormatError
 from repro.netproto.wire import (
+    MAGIC,
+    MAX_FRAME_BYTES,
     decode_frame,
     decode_message,
     decode_value,
@@ -84,8 +88,35 @@ class TestFraming:
         assert read_frame(stream) == b"two"
 
     def test_read_frame_on_closed_stream(self):
-        with pytest.raises(WireFormatError):
+        # EOF between frames is a peer disconnect, not a codec failure
+        with pytest.raises(ConnectionLostError):
             read_frame(io.BytesIO(b""))
+
+    def test_read_frame_on_mid_frame_eof(self):
+        frame = encode_frame(b"abcdef")
+        with pytest.raises(WireFormatError):
+            read_frame(io.BytesIO(frame[:-2]))
+
+    def test_hostile_length_prefix_rejected(self):
+        # a 2 GiB length prefix must be rejected before any allocation
+        hostile = MAGIC + struct.pack(">I", (1 << 31) - 1) + b"x" * 16
+        with pytest.raises(WireFormatError, match="exceeds"):
+            read_frame(io.BytesIO(hostile))
+        with pytest.raises(WireFormatError, match="exceeds"):
+            decode_frame(hostile)
+
+    def test_read_frame_custom_cap(self):
+        frame = encode_frame(b"x" * 128)
+        with pytest.raises(WireFormatError, match="exceeds"):
+            read_frame(io.BytesIO(frame), max_length=64)
+
+    def test_oversized_payload_not_encodable(self):
+        class FakePayload(bytes):
+            def __len__(self) -> int:
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(WireFormatError, match="exceeds"):
+            encode_frame(FakePayload())
 
 
 class TestMessages:
