@@ -390,6 +390,39 @@ def run_persist(*, quick: bool = False) -> dict:
             "replay_seconds_estimate": round(
                 max(recovery_s - cold_open_s, 0.0), 6),
         }
+
+        # ---- VERIFY scrub / BACKUP TO over the live database ------------ #
+        total_rows = rows + recovery_rows
+        scrub = Database(path=base_path)
+        verify_s = timed(scrub.verify)
+        report = scrub.verify()
+        results[f"verify_{total_rows}"] = {
+            "rows": total_rows,
+            "seconds": round(verify_s, 6),
+            "rows_per_sec": round(total_rows / verify_s)
+            if verify_s > 0 else None,
+            "wal_records_checked": report.wal_records,
+            "ok": report.ok,
+        }
+
+        backup_target = workdir / "copyout.db"
+
+        def run_backup() -> None:
+            if backup_target.exists():
+                backup_target.unlink()
+            scrub.backup(backup_target)
+
+        backup_s = timed(run_backup)
+        backup_bytes = backup_target.stat().st_size
+        results[f"backup_{total_rows}"] = {
+            "rows": total_rows,
+            "seconds": round(backup_s, 6),
+            "rows_per_sec": round(total_rows / backup_s)
+            if backup_s > 0 else None,
+            "file_bytes": backup_bytes,
+        }
+        scrub.persistence.close(checkpoint=False)
+        scrub.scheduler.shutdown()
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

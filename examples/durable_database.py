@@ -9,7 +9,11 @@ What this demonstrates:
    the reopened database replays the log over the last checkpoint,
 4. ``CHECKPOINT`` — rewrite the image (segments are the same columnar chunk
    blobs the wire protocol ships) and truncate the log,
-5. clean close — auto-checkpoint, so the next open replays nothing.
+5. ``VERIFY`` — online scrub of every segment/WAL checksum,
+6. ``BACKUP TO`` — a consistent online copy, restorable by plain open,
+7. bit rot + salvage — corruption is pinned to (table, row range, offset)
+   and quarantined so the healthy tables stay readable,
+8. clean close — auto-checkpoint, so the next open replays nothing.
 
 Run with:  python examples/durable_database.py
 """
@@ -59,7 +63,45 @@ def main() -> None:
           f"segment(s), {row['file_bytes']:,} bytes, "
           f"{row['wal_records_truncated']} WAL records truncated")
 
-    # -- 5. clean close + reopen ------------------------------------------ #
+    # -- 5. online scrub --------------------------------------------------- #
+    verify = database.execute("VERIFY")
+    print(verify.format_table())
+
+    # -- 6. online backup -------------------------------------------------- #
+    backup_path = workdir / "demo.backup.db"
+    backup = database.execute(f"BACKUP TO '{backup_path}'")
+    row = dict(zip(backup.column_names, backup.fetchall()[0]))
+    print(f"backup: {row['rows']} rows, {row['file_bytes']:,} bytes "
+          f"-> {row['path']}")
+    restored = Database(path=backup_path)   # restore = plain open
+    print(f"restored backup holds "
+          f"{restored.execute('SELECT COUNT(*) FROM sensors').scalar()} rows")
+    restored.close()
+
+    # -- 7. bit rot, detection, salvage ------------------------------------ #
+    from repro.errors import CorruptionError
+    from repro.sqldb.persist import format as persist_format
+
+    rotten = workdir / "rotten.db"
+    shutil.copy(path, rotten)
+    data = bytearray(rotten.read_bytes())
+    footer = persist_format.read_footer(bytes(data), rotten)
+    segment = footer["tables"][0]["segments"][0]
+    data[segment["offset"] + 5] ^= 0xFF          # one flipped bit on disk
+    rotten.write_bytes(bytes(data))
+    try:
+        Database(path=rotten)
+    except CorruptionError as exc:
+        print(f"strict open refused: {exc}")
+    salvaged = Database(path=rotten, salvage=True)
+    print(f"salvage quarantined: {salvaged.persistence.quarantined_tables()}")
+    try:
+        salvaged.execute("SELECT * FROM sensors")
+    except CorruptionError as exc:
+        print(f"reads of the damaged table stay refused: {exc}")
+    salvaged.persistence.close(checkpoint=False)
+
+    # -- 8. clean close + reopen ------------------------------------------ #
     database.execute("INSERT INTO sensors VALUES (4, 'attic', 30.25)")
     database.close()  # auto-checkpoint: WAL ends empty
     reopened = Database(path=path)

@@ -48,6 +48,25 @@ class PersistenceError(SQLError):
     """The on-disk database file or write-ahead log is invalid or corrupt."""
 
 
+class CorruptionError(PersistenceError):
+    """A checksum mismatch pinned to a location inside a database file.
+
+    Raised when a crc32 check fails (or a quarantined row range is touched):
+    ``table``, ``row_range`` (a ``(start, stop)`` half-open interval) and the
+    file ``offset`` locate the damage precisely so an operator — or the
+    ``salvage=True`` quarantine machinery — can contain it to one segment
+    instead of discarding the whole database.
+    """
+
+    def __init__(self, message: str, *, table: str | None = None,
+                 row_range: tuple[int, int] | None = None,
+                 offset: int | None = None) -> None:
+        super().__init__(message)
+        self.table = table
+        self.row_range = row_range
+        self.offset = offset
+
+
 class QueryAbortedError(ExecutionError):
     """A statement was stopped before completing (timeout or cancellation)."""
 

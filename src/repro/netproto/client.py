@@ -49,6 +49,8 @@ from .messages import (
     MSG_HELLO,
     MSG_QUERY,
     MSG_RESULT,
+    MSG_STATS,
+    MSG_STATS_RESULT,
     PROTOCOL_VERSION,
     ColumnarResultAssembler,
     TransferStats,
@@ -360,6 +362,24 @@ class Connection:
         statements = split_statements(sql)
         _ = parse_script  # imported for documentation purposes
         return [self.execute(statement) for statement in statements]
+
+    def server_stats(self) -> dict[str, int]:
+        """Fetch the server's flat counter snapshot (``stats`` message).
+
+        Covers the engine (``db.*``), durability (``persist.*`` — WAL seals,
+        verify runs, corruption detections, backups) and the wire layer
+        (``server.*``).  Requires an authenticated session.
+        """
+        reply = self._exchange({"type": MSG_STATS})
+        if reply.get("type") == MSG_ERROR:
+            raise exception_for_error(reply)
+        if reply.get("type") != MSG_STATS_RESULT:
+            raise ProtocolError(
+                f"unexpected stats reply {reply.get('type')!r}")
+        stats = reply.get("stats")
+        if not isinstance(stats, dict):
+            raise ProtocolError("stats reply carries no stats mapping")
+        return {str(name): int(value) for name, value in stats.items()}
 
     def cursor(self) -> "Cursor":
         return Cursor(self)

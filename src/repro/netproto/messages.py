@@ -14,6 +14,7 @@ from typing import Any, Iterator
 
 from ..errors import (
     AuthenticationError,
+    CorruptionError,
     ProtocolError,
     QueryCancelledError,
     QueryTimeoutError,
@@ -63,6 +64,11 @@ MSG_CLOSED = "closed"
 #: the query (or something it told) can cancel it.
 MSG_CANCEL = "cancel"
 MSG_CANCELLED = "cancelled"
+#: Observability: ``{"type": "stats"}`` (authenticated sessions only),
+#: answered with ``{"type": "stats_result", "stats": {"db.tables": n, ...}}``
+#: — the server's flat counter snapshot (engine, durability, server faults).
+MSG_STATS = "stats"
+MSG_STATS_RESULT = "stats_result"
 
 # --------------------------------------------------------------------------- #
 # structured error frames
@@ -80,6 +86,7 @@ ERR_CANCELLED = "cancelled"
 ERR_SATURATED = "saturated"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_SESSION_LIMIT = "session_limit"
+ERR_CORRUPTION = "corruption"
 
 #: Exception type -> wire code, most specific first (isinstance scan).
 _ERROR_CODES: list[tuple[type, str]] = [
@@ -89,6 +96,7 @@ _ERROR_CODES: list[tuple[type, str]] = [
     (AuthenticationError, ERR_AUTH),
     (WireFormatError, ERR_WIRE_FORMAT),
     (ProtocolError, ERR_PROTOCOL),
+    (CorruptionError, ERR_CORRUPTION),
 ]
 
 
@@ -136,6 +144,8 @@ def exception_for_error(message: dict[str, Any]) -> ReproError:
         return WireFormatError(text)
     if code == ERR_PROTOCOL:
         return ProtocolError(text)
+    if code == ERR_CORRUPTION:
+        return CorruptionError(text)
     return ExecutionError(text)
 
 

@@ -26,6 +26,8 @@ from typing import Any, Callable, Iterable, Iterator
 from ..errors import (
     AuthenticationError,
     ConnectionLostError,
+    CorruptionError,
+    PersistenceError,
     ProtocolError,
     QueryTimeoutError,
     ReproError,
@@ -53,6 +55,8 @@ from .messages import (
     MSG_LOGIN_OK,
     MSG_QUERY,
     MSG_RESULT,
+    MSG_STATS,
+    MSG_STATS_RESULT,
     PROTOCOL_VERSION,
     columnar_result_messages,
     encode_result,
@@ -101,7 +105,17 @@ class ServerStats:
     client_disconnects: int = 0
     idle_disconnects: int = 0
     wire_errors: int = 0
+    #: Queries that failed with a :class:`repro.errors.CorruptionError`
+    #: (quarantined rows touched, checksum mismatch surfaced mid-statement).
+    corruption_errors: int = 0
     query_log: list[str] = field(default_factory=list)
+
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a flat dict (for the ``stats`` message)."""
+        return {
+            name: value for name, value in vars(self).items()
+            if isinstance(value, int) and not isinstance(value, bool)
+        }
 
 
 @dataclass
@@ -223,6 +237,9 @@ class DatabaseServer:
         #: ``"chunk"``) before the corresponding step; a hook that raises a
         #: :class:`ReproError` injects that failure into the normal error path.
         self.fault_hook: Callable[[str], None] | None = None
+        # surface the wire-layer fault counters through SHOW STATS / the
+        # stats message next to the engine's and the store's
+        self.database.register_stats_source("server", self.stats.counters)
         self._next_session = 1
         self._lock = threading.Lock()
         self._sessions: dict[int, Session] = {}
@@ -345,6 +362,8 @@ class DatabaseServer:
                 # connection (the original one is busy streaming the query)
                 # and is authorised by the cancel_key capability instead
                 responses = (self._handle_cancel(message),)
+            elif message_type == MSG_STATS:
+                responses = (self._handle_stats(session),)
             elif message_type == MSG_CLOSE:
                 responses = ({"type": MSG_CLOSED},)
             else:
@@ -358,7 +377,16 @@ class DatabaseServer:
         self.stats.errors += 1
         if isinstance(exc, QueryTimeoutError):
             self.stats.queries_timed_out += 1
+        if isinstance(exc, CorruptionError):
+            self.stats.corruption_errors += 1
         return error_message_for(exc)
+
+    def _handle_stats(self, session: Session) -> dict[str, Any]:
+        """``stats`` request: the flat counter snapshot (auth required)."""
+        if not session.authenticated:
+            raise AuthenticationError("not authenticated")
+        return {"type": MSG_STATS_RESULT,
+                "stats": self.database.stats_snapshot()}
 
     def _handle_hello(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
         username = str(message.get("username", ""))
@@ -851,13 +879,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--idle-timeout", type=float,
                         default=ServerLimits.idle_timeout, metavar="SECONDS",
                         help="disconnect clients idle this long")
+    parser.add_argument("--verify-on-start", action="store_true",
+                        dest="verify_on_start",
+                        help="scrub every image/WAL checksum before serving; "
+                             "refuse to start on corruption (needs --db)")
     args = parser.parse_args(argv)
 
     limits = ServerLimits(max_concurrent_queries=args.max_concurrent,
                           max_queue_depth=args.max_queue,
                           statement_timeout=args.statement_timeout,
                           idle_timeout=args.idle_timeout)
-    database = Database(name=args.name, path=args.db, workers=args.workers)
+    if args.verify_on_start and not args.db:
+        parser.error("--verify-on-start requires --db")
+    try:
+        database = Database(name=args.name, path=args.db, workers=args.workers)
+    except PersistenceError as exc:
+        # a corrupt image fails the open itself; with --verify-on-start the
+        # operator asked for a clean verdict, not a traceback
+        if not args.verify_on_start:
+            raise
+        print(f"verify: CORRUPT: {exc}")
+        return 1
+    if args.verify_on_start:
+        report = database.verify()
+        print(f"verify: generation={report.generation} "
+              f"tables={len(report.image.tables)} "
+              f"corrupt_segments={report.corrupt_segments} "
+              f"wal_records={report.wal_records} "
+              f"ok={report.ok}")
+        if not report.ok:
+            for fault in report.image.faults:
+                print(f"verify: CORRUPT table={fault.table} "
+                      f"rows={fault.start_row}..{fault.stop_row} "
+                      f"offset={fault.offset}: {fault.reason}")
+            if report.image.error:
+                print(f"verify: CORRUPT file: {report.image.error}")
+            if report.wal_error:
+                print(f"verify: CORRUPT wal: {report.wal_error}")
+            database.close()
+            return 1
     database_server = DatabaseServer(
         database, default_user=args.user, default_password=args.password,
         result_chunk_rows=args.chunk_rows, limits=limits)

@@ -268,3 +268,20 @@ class Explain(Statement):
 @dataclass
 class Checkpoint(Statement):
     """``CHECKPOINT`` — persist the database image and truncate the WAL."""
+
+
+@dataclass
+class Verify(Statement):
+    """``VERIFY`` — scrub every image/WAL checksum; one stats row per table."""
+
+
+@dataclass
+class BackupTo(Statement):
+    """``BACKUP TO 'path'`` — write a consistent standalone image copy."""
+
+    path: str
+
+
+@dataclass
+class ShowStats(Statement):
+    """``SHOW STATS`` — engine, durability, and server fault counters."""

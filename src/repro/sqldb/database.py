@@ -31,7 +31,12 @@ from .storage import Storage
 from .udf import UDFRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .persist import CheckpointStats, PersistentStore
+    from .persist import (
+        BackupStats,
+        CheckpointStats,
+        PersistentStore,
+        VerifyReport,
+    )
 
 
 class Database:
@@ -61,7 +66,8 @@ class Database:
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                  path: str | os.PathLike[str] | None = None,
                  segment_rows: int | None = None,
-                 wal_fsync_batch: int | None = None) -> None:
+                 wal_fsync_batch: int | None = None,
+                 salvage: bool = False) -> None:
         self.name = name
         self.storage = Storage()
         self.catalog = FunctionCatalog()
@@ -75,9 +81,18 @@ class Database:
         #: report "server round trips".
         self.statements_executed = 0
         self.query_log: list[str] = []
+        #: Extra ``SHOW STATS`` sections: name -> zero-arg callable returning
+        #: a flat ``{counter: int}`` dict.  The wire server registers its
+        #: :class:`~repro.netproto.server.ServerStats` here so operators see
+        #: network-side fault counters next to the storage-side ones.
+        self.stats_sources: dict[str, Any] = {}
         #: Durable-store handle; ``None`` for the in-memory default.  Import
         #: lazily: the persist package pulls in the wire codecs, whose
         #: package imports this module (cycle at module-import time only).
+        #: ``salvage=True`` opens a damaged file in quarantine mode instead
+        #: of refusing: corrupt segments load as sealed NULL placeholder
+        #: ranges and touching the affected table raises a structured
+        #: :class:`~repro.errors.CorruptionError`.
         self.persistence: "PersistentStore | None" = None
         if path is not None:
             from .persist import (
@@ -89,7 +104,8 @@ class Database:
             self.persistence = PersistentStore(
                 path, self,
                 segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS,
-                fsync_batch=wal_fsync_batch or DEFAULT_FSYNC_BATCH)
+                fsync_batch=wal_fsync_batch or DEFAULT_FSYNC_BATCH,
+                salvage=salvage)
             self.persistence.open()
 
     @property
@@ -179,6 +195,57 @@ class Database:
                     "CHECKPOINT requires a persistent database "
                     "(open it with Database(path=...))")
             return self.persistence.checkpoint()
+
+    def verify(self) -> "VerifyReport":
+        """Re-check every checksum of the on-disk image and WAL (scrub).
+
+        Deliberately lock-free: only on-disk bytes are read, so a scrub can
+        run while readers execute.  Raises :class:`ExecutionError` for
+        in-memory databases, mirroring :meth:`checkpoint`.
+        """
+        if self.persistence is None:
+            raise ExecutionError(
+                "VERIFY requires a persistent database "
+                "(open it with Database(path=...))")
+        return self.persistence.verify()
+
+    def backup(self, target: str | os.PathLike[str]) -> "BackupStats":
+        """Write a consistent standalone image at ``target`` (online backup).
+
+        Runs under the database lock so the image is a clean statement
+        boundary snapshot; restore is simply ``Database(path=target)``.
+        """
+        with self._lock:
+            if self.persistence is None:
+                raise ExecutionError(
+                    "BACKUP requires a persistent database "
+                    "(open it with Database(path=...))")
+            return self.persistence.backup(target)
+
+    def register_stats_source(self, name: str, source: Any) -> None:
+        """Attach a named counters callable surfaced by ``SHOW STATS``."""
+        self.stats_sources[name] = source
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Flat ``{qualified_counter: value}`` map for SHOW STATS / wire."""
+        snapshot: dict[str, int] = {
+            "db.statements_executed": self.statements_executed,
+            "db.tables": len(self.storage.table_names()),
+            "db.workers": self.workers,
+        }
+        if self.persistence is not None:
+            for key, value in self.persistence.stats_snapshot().items():
+                snapshot[f"persist.{key}"] = value
+        for name, source in self.stats_sources.items():
+            try:
+                counters = source()
+            except Exception:  # a broken source must not break SHOW STATS
+                continue
+            for key, value in counters.items():
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    snapshot[f"{name}.{key}"] = int(value)
+        return snapshot
 
     def close(self) -> None:
         """Release the worker pool; checkpoint and seal a persistent database.

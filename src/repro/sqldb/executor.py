@@ -96,6 +96,12 @@ class Executor:
             return self._execute_copy(statement)
         if isinstance(statement, ast.Checkpoint):
             return self._execute_checkpoint()
+        if isinstance(statement, ast.Verify):
+            return self._execute_verify()
+        if isinstance(statement, ast.BackupTo):
+            return self._execute_backup(statement)
+        if isinstance(statement, ast.ShowStats):
+            return self._execute_show_stats()
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     # ------------------------------------------------------------------ #
@@ -415,6 +421,67 @@ class Executor:
         ]
         return QueryResult(columns, statement_type="CHECKPOINT")
 
+    def _execute_verify(self) -> QueryResult:
+        report = self.database.verify()
+        objects: list[Any] = []
+        row_counts: list[Any] = []
+        segments: list[Any] = []
+        corrupt: list[Any] = []
+        status: list[Any] = []
+        detail: list[Any] = []
+
+        def _row(name: str, rows: Any, segs: Any, bad: int,
+                 errors: list[str]) -> None:
+            objects.append(name)
+            row_counts.append(rows)
+            segments.append(segs)
+            corrupt.append(bad)
+            status.append("ok" if not bad and not errors else "corrupt")
+            detail.append("; ".join(errors) if errors else None)
+
+        image = report.image
+        if image.error is not None:
+            _row("(file)", None, None, 1, [image.error])
+        for entry in image.tables:
+            _row(entry.name, entry.rows, entry.segments,
+                 entry.corrupt_segments, entry.errors)
+        wal_errors = [report.wal_error] if report.wal_error else []
+        if report.wal_torn:
+            wal_errors.append("torn tail (will be discarded on recovery)")
+        _row("(wal)", report.wal_records, None, len(wal_errors), wal_errors)
+        columns = [
+            ResultColumn("object", SQLType.STRING, objects),
+            ResultColumn("rows", SQLType.BIGINT, row_counts),
+            ResultColumn("segments", SQLType.BIGINT, segments),
+            ResultColumn("corrupt", SQLType.BIGINT, corrupt),
+            ResultColumn("status", SQLType.STRING, status),
+            ResultColumn("detail", SQLType.STRING, detail),
+        ]
+        return QueryResult(columns, statement_type="VERIFY")
+
+    def _execute_backup(self, statement: ast.BackupTo) -> QueryResult:
+        stats = self.database.backup(statement.path)
+        columns = [
+            ResultColumn("path", SQLType.STRING, [stats.path]),
+            ResultColumn("generation", SQLType.BIGINT, [stats.generation]),
+            ResultColumn("tables", SQLType.BIGINT, [stats.tables]),
+            ResultColumn("segments", SQLType.BIGINT, [stats.segments]),
+            ResultColumn("rows", SQLType.BIGINT, [stats.rows]),
+            ResultColumn("file_bytes", SQLType.BIGINT, [stats.file_bytes]),
+            ResultColumn("seconds", SQLType.DOUBLE, [stats.seconds]),
+        ]
+        return QueryResult(columns, statement_type="BACKUP")
+
+    def _execute_show_stats(self) -> QueryResult:
+        snapshot = self.database.stats_snapshot()
+        names = sorted(snapshot)
+        columns = [
+            ResultColumn("name", SQLType.STRING, names),
+            ResultColumn("value", SQLType.BIGINT,
+                         [snapshot[name] for name in names]),
+        ]
+        return QueryResult(columns, statement_type="SHOW STATS")
+
     # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
@@ -422,6 +489,7 @@ class Executor:
     def _batch_from_table(table: Table, *, alias: str) -> Batch:
         # near-zero-copy scan: share the storage layer's cached (read-only)
         # arrays/vectors instead of copying every column per query
+        table.check_readable()
         from .expressions import BatchColumn
 
         columns = [

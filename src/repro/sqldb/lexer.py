@@ -34,6 +34,7 @@ KEYWORDS = {
     "DELETE", "UPDATE", "SET", "FUNCTION", "RETURNS", "LANGUAGE", "JOIN", "INNER",
     "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "TRUE", "FALSE", "COPY", "DELIMITERS",
     "HEADER", "UNION", "ALL", "NOT", "EXPLAIN", "CHECKPOINT",
+    "VERIFY", "BACKUP", "TO", "SHOW", "STATS",
 }
 
 _MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")

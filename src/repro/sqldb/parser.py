@@ -156,8 +156,27 @@ class Parser:
         if token.is_keyword("CHECKPOINT"):
             self.advance()
             return ast.Checkpoint()
+        if token.is_keyword("VERIFY"):
+            self.advance()
+            return ast.Verify()
+        if token.is_keyword("BACKUP"):
+            return self._parse_backup()
+        if token.is_keyword("SHOW"):
+            self.advance()
+            self.expect_keyword("STATS")
+            return ast.ShowStats()
         raise ParseError(f"unsupported statement starting with {token.value!r}",
                          token.position)
+
+    def _parse_backup(self) -> ast.BackupTo:
+        self.expect_keyword("BACKUP")
+        self.expect_keyword("TO")
+        token = self.peek()
+        if token.type is not TokenType.STRING:
+            raise ParseError("BACKUP TO expects a quoted file path",
+                             token.position)
+        self.advance()
+        return ast.BackupTo(path=token.value)
 
     # ------------------------------------------------------------------ #
     # SELECT

@@ -20,9 +20,14 @@ import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from ...errors import PersistenceError
+from dataclasses import dataclass
+
+from ...errors import CorruptionError, PersistenceError
+from . import faults
 from .checkpoint import (
+    BackupStats,
     CheckpointStats,
+    backup_to,
     commit_checkpoint,
     prepare_checkpoint,
     reset_wal,
@@ -32,31 +37,62 @@ from .checkpoint import (
 from .format import (
     DEFAULT_CODEC,
     DEFAULT_SEGMENT_ROWS,
+    ImageVerifyReport,
+    TableVerify,
     read_database,
+    verify_image,
     write_database,
 )
-from .recovery import RecoveryReport, recover, wal_path_for
+from .recovery import RecoveryReport, recover, tmp_path_for, wal_path_for
 from .wal import DEFAULT_FSYNC_BATCH, WriteAheadLog, read_wal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..database import Database
 
 __all__ = [
+    "BackupStats",
     "CheckpointStats",
+    "CorruptionError",
     "DEFAULT_CODEC",
     "DEFAULT_FSYNC_BATCH",
     "DEFAULT_SEGMENT_ROWS",
+    "ImageVerifyReport",
     "PersistenceError",
     "PersistentStore",
     "RecoveryReport",
+    "TableVerify",
+    "VerifyReport",
     "WriteAheadLog",
+    "backup_to",
+    "faults",
     "read_database",
     "read_wal",
     "recover",
+    "tmp_path_for",
+    "verify_image",
     "wal_path_for",
     "write_checkpoint",
     "write_database",
 ]
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one ``VERIFY`` scrub: the image report plus the WAL's."""
+
+    image: ImageVerifyReport
+    wal_records: int = 0
+    wal_torn: bool = False
+    wal_error: str | None = None
+    generation: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.image.ok and not self.wal_torn and self.wal_error is None
+
+    @property
+    def corrupt_segments(self) -> int:
+        return len(self.image.faults)
 
 
 class PersistentStore:
@@ -71,18 +107,32 @@ class PersistentStore:
     def __init__(self, path: str | os.PathLike[str], database: "Database", *,
                  segment_rows: int = DEFAULT_SEGMENT_ROWS,
                  codec: str = DEFAULT_CODEC,
-                 fsync_batch: int = DEFAULT_FSYNC_BATCH) -> None:
+                 fsync_batch: int = DEFAULT_FSYNC_BATCH,
+                 salvage: bool = False,
+                 fs: faults.FileSystem | None = None) -> None:
         self.path = Path(path)
         self.database = database
         self.segment_rows = max(1, int(segment_rows))
         self.codec = codec
         self.generation = 0
+        self.salvage = bool(salvage)
+        self._fs = fs
         self.wal = WriteAheadLog(wal_path_for(self.path),
-                                 fsync_batch=fsync_batch)
+                                 fsync_batch=fsync_batch, fs=fs)
         self.last_recovery: RecoveryReport | None = None
         self.last_checkpoint: CheckpointStats | None = None
+        self.last_verify: "VerifyReport | None" = None
+        self.last_backup: BackupStats | None = None
+        #: Fault-observability counters surfaced by ``SHOW STATS``.
+        self.verify_runs = 0
+        self.corruption_detected = 0
+        self.backups_taken = 0
         self._closed = False
         self._lock_file: Any = None
+
+    @property
+    def fs(self) -> faults.FileSystem:
+        return self._fs or faults.current_fs()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -92,12 +142,14 @@ class PersistentStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._acquire_lock()
         try:
-            report = recover(self.path, self.database, self.wal)
+            report = recover(self.path, self.database, self.wal,
+                             salvage=self.salvage, fs=self._fs)
         except BaseException:
             self._release_lock()
             raise
         self.generation = report.generation
         self.last_recovery = report
+        self.corruption_detected += report.quarantined_segments
         return report
 
     def _acquire_lock(self) -> None:
@@ -132,18 +184,29 @@ class PersistentStore:
                 self._lock_file = None
 
     def close(self, *, checkpoint: bool = True) -> None:
-        """Flush, optionally checkpoint, and release the WAL handle."""
+        """Flush, optionally checkpoint, and release the WAL handle.
+
+        A salvaged store with live quarantined ranges skips the closing
+        checkpoint (writing an image would launder placeholder NULLs into a
+        clean-looking file) and just flushes the WAL.  The handle and lock
+        are released even when the final flush/checkpoint fails — the error
+        still propagates, but nothing leaks.
+        """
         if self._closed:
             return
         try:
-            if checkpoint:
+            if checkpoint and not self.quarantined_tables():
                 self.checkpoint()
-            else:
+            elif self.wal.failed is None:
+                # a sealed log already reported its failure once; close
+                # must not raise it again on the way out
                 self.wal.flush()
         finally:
-            self.wal.close()
-            self._release_lock()
             self._closed = True
+            try:
+                self.wal.close()
+            finally:
+                self._release_lock()
 
     @property
     def closed(self) -> bool:
@@ -175,8 +238,8 @@ class PersistentStore:
         # and the checkpoint can simply be retried
         prepared = prepare_checkpoint(
             self.path, self.database, generation=self.generation + 1,
-            segment_rows=self.segment_rows, codec=self.codec)
-        swap_image(self.path, prepared)
+            segment_rows=self.segment_rows, codec=self.codec, fs=self._fs)
+        swap_image(self.path, prepared, fs=self._fs)
         try:
             stats = reset_wal(prepared, self.wal)
         except BaseException:
@@ -192,6 +255,91 @@ class PersistentStore:
         self.generation = stats.generation
         self.last_checkpoint = stats
         return stats
+
+    # ------------------------------------------------------------------ #
+    # integrity: scrub, quarantine inspection, backup
+    # ------------------------------------------------------------------ #
+    def verify(self) -> "VerifyReport":
+        """Re-check every checksum of the image and WAL (online scrub).
+
+        Reads only the on-disk bytes — no storage decode, no database lock —
+        so it can run next to live readers.  The WAL half tolerates a torn
+        tail only when it is the live, *open* log (an append may genuinely
+        be in flight); on a closed store a torn tail is a fault.
+        """
+        if os.path.exists(self.path):
+            image = verify_image(self.path, fs=self._fs)
+        else:
+            # the image file is created lazily by the first checkpoint —
+            # a store that has never checkpointed is new, not corrupt
+            image = ImageVerifyReport(path=str(self.path),
+                                      generation=self.generation)
+        report = VerifyReport(image=image, generation=image.generation)
+        wal_path = self.wal.path
+        if wal_path.exists():
+            try:
+                contents = read_wal(wal_path, fs=self._fs)
+            except PersistenceError as exc:
+                report.wal_error = str(exc)
+            else:
+                report.wal_records = len(contents.records)
+                report.wal_torn = contents.torn
+                if contents.generation != image.generation \
+                        and image.error is None and not self._closed:
+                    report.wal_error = (
+                        f"WAL generation {contents.generation} does not "
+                        f"match image generation {image.generation}")
+        self.verify_runs += 1
+        if not report.ok:
+            self.corruption_detected += len(image.faults) or 1
+        self.last_verify = report
+        return report
+
+    def quarantined_tables(self) -> dict[str, list[Any]]:
+        """Live tables with quarantined row ranges (salvage leftovers)."""
+        storage = self.database.storage
+        result: dict[str, list[Any]] = {}
+        for name in storage.table_names():
+            quarantined = getattr(storage.table(name), "quarantined", None)
+            if quarantined:
+                result[name] = list(quarantined)
+        return result
+
+    def backup(self, target: str | os.PathLike[str]) -> BackupStats:
+        """Write a consistent standalone image at ``target`` (online backup).
+
+        Uses the checkpoint prepare/swap machinery against the target path
+        (``<target>.tmp`` + fsync + atomic rename + directory fsync); the
+        live image, WAL and generation are untouched, so any failure leaves
+        the store fully usable.  The result is a plain database file —
+        restore is simply ``Database(path=target)``.
+        """
+        if self._closed:
+            raise PersistenceError(f"database file {self.path} is closed")
+        target = Path(target)
+        if target.resolve() == self.path.resolve():
+            raise PersistenceError(
+                "BACKUP target must differ from the live database path")
+        self.wal.flush()
+        stats = backup_to(target, self.database,
+                          generation=self.generation + 1,
+                          segment_rows=self.segment_rows, codec=self.codec,
+                          fs=self._fs)
+        self.backups_taken += 1
+        self.last_backup = stats
+        return stats
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Durability counters for ``SHOW STATS`` / the ``stats`` message."""
+        return {
+            "generation": self.generation,
+            "wal_records": self.wal.records_appended,
+            "wal_sealed": int(self.wal.failed is not None),
+            "verify_runs": self.verify_runs,
+            "corruption_detected": self.corruption_detected,
+            "backups_taken": self.backups_taken,
+            "quarantined_tables": len(self.quarantined_tables()),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PersistentStore({str(self.path)!r}, "

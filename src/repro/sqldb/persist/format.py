@@ -44,14 +44,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, BinaryIO
 
-from ...errors import PersistenceError
+from ...errors import CorruptionError, PersistenceError
 from ...netproto import compression as compression_mod
 from ...netproto.columnar import ChunkEncoder, decode_chunk
 from ...netproto.wire import decode_value, encode_value
 from ..catalog import FunctionCatalog
 from ..result import QueryResult, ResultColumn
-from ..storage import Storage
+from ..storage import QuarantinedRange, Storage
 from ..vector import Vector
+from . import faults
 from .records import (
     schema_from_record,
     schema_to_record,
@@ -189,6 +190,9 @@ class DatabaseImage:
     functions: int = 0
     segments: int = 0
     table_meta: list[dict[str, Any]] = field(default_factory=list)
+    #: Row ranges the salvage loader pinned a bad checksum to (empty on a
+    #: clean load; only ever populated when ``salvage=True``).
+    quarantined: list[QuarantinedRange] = field(default_factory=list)
 
 
 def read_footer(data: bytes, path: str | os.PathLike[str]) -> dict[str, Any]:
@@ -218,15 +222,44 @@ def read_footer(data: bytes, path: str | os.PathLike[str]) -> dict[str, Any]:
     return footer
 
 
+def _segment_fault(segment: dict[str, Any], data: bytes,
+                   blob: bytes | None = None) -> str | None:
+    """The integrity problem with one indexed segment, or ``None`` if sound."""
+    seg_offset, seg_len = int(segment["offset"]), int(segment["length"])
+    if blob is None:
+        blob = data[seg_offset:seg_offset + seg_len]
+    if len(blob) != seg_len:
+        return (f"segment out of bounds ({seg_offset}+{seg_len} > "
+                f"{len(data)} file bytes)")
+    if zlib.crc32(blob) != int(segment["crc"]):
+        return "segment checksum mismatch"
+    return None
+
+
 def read_database(path: str | os.PathLike[str], storage: Storage,
-                  catalog: FunctionCatalog) -> DatabaseImage:
+                  catalog: FunctionCatalog, *, salvage: bool = False,
+                  fs: faults.FileSystem | None = None) -> DatabaseImage:
     """Load a database file into ``storage``/``catalog``; returns the image.
 
     ``storage`` is expected to be empty (a fresh open).  Segment checksums
     are verified before decode; decoding itself is the shared
     :func:`repro.netproto.columnar.decode_chunk` wire path.
+
+    A corrupt segment normally fails the open with a
+    :class:`~repro.errors.CorruptionError` naming the table, the segment's
+    row range, and the file offset.  With ``salvage=True`` the bad segment
+    is *quarantined* instead: its row range is filled with NULL placeholder
+    rows (so later segments keep their row positions), recorded on the
+    table, and every healthy table and segment still loads — touching the
+    quarantined table then raises the same structured error at access time.
+    The footer itself (and the fixed tail) cannot be salvaged: without a
+    trustworthy segment index there are no row ranges to pin faults to.
     """
-    data = Path(path).read_bytes()
+    try:
+        data = (fs or faults.current_fs()).read_bytes(path)
+    except OSError as exc:
+        raise PersistenceError(
+            f"database file {path}: read failed ({exc})") from exc
     footer = read_footer(data, path)
     image = DatabaseImage(generation=int(footer.get("generation", 0)),
                           segment_rows=int(footer.get("segment_rows",
@@ -237,17 +270,37 @@ def read_database(path: str | os.PathLike[str], storage: Storage,
         table = storage.create_table(schema)
         loaded = 0
         for segment in table_meta.get("segments", []):
-            seg_offset, seg_len = int(segment["offset"]), int(segment["length"])
-            blob = data[seg_offset:seg_offset + seg_len]
-            if len(blob) != seg_len:
-                raise PersistenceError(
-                    f"database file {path}: segment out of bounds "
-                    f"(table {schema.name!r})")
-            if zlib.crc32(blob) != int(segment["crc"]):
-                raise PersistenceError(
-                    f"database file {path}: segment checksum mismatch "
-                    f"(table {schema.name!r}, offset {seg_offset})")
-            loaded += _load_segment(table, blob, path)
+            seg_offset = int(segment["offset"])
+            seg_rows = int(segment["rows"])
+            row_range = (loaded, loaded + seg_rows)
+            blob = data[seg_offset:seg_offset + int(segment["length"])]
+            fault = _segment_fault(segment, data, blob)
+            if fault is None:
+                try:
+                    decoded_rows = _load_segment(table, blob, path)
+                except PersistenceError as exc:
+                    fault = str(exc)
+                else:
+                    loaded += decoded_rows
+                    image.segments += 1
+                    continue
+            message = (f"database file {path}: {fault} "
+                       f"(table {schema.name!r}, "
+                       f"rows {row_range[0]}..{row_range[1]}, "
+                       f"offset {seg_offset})")
+            if not salvage:
+                raise CorruptionError(message, table=schema.name,
+                                      row_range=row_range, offset=seg_offset)
+            # quarantine: NULL placeholders keep later segments' rows at
+            # their original positions; the range is sealed on the table
+            for column in table.columns:
+                column.values.extend([None] * seg_rows)
+                column.mark_dirty()
+            table.quarantine(QuarantinedRange(
+                table=schema.name, start_row=row_range[0],
+                stop_row=row_range[1], offset=seg_offset, reason=message))
+            image.quarantined.append(table.quarantined[-1])
+            loaded += seg_rows
             image.segments += 1
         if loaded != int(table_meta.get("row_count", loaded)):
             raise PersistenceError(
@@ -264,13 +317,23 @@ def read_database(path: str | os.PathLike[str], storage: Storage,
 
 def _load_segment(table: Any, blob: bytes,
                   path: str | os.PathLike[str]) -> int:
-    """Decode one segment blob through the shared wire path into ``table``."""
-    row_count, decoded = decode_chunk(blob)
+    """Decode one segment blob through the shared wire path into ``table``.
+
+    Decode is two-phase: every column's value list is materialised before
+    any column is touched, so a decode failure in column k can never leave
+    columns 0..k-1 one segment longer than the rest (the salvage loader
+    relies on a failed segment leaving the table exactly as it was).
+    """
+    try:
+        row_count, decoded = decode_chunk(blob)
+    except Exception as exc:
+        raise PersistenceError(f"segment decode failed: {exc}") from exc
     names = [column.name.lower() for column in table.columns]
     if [c.name.lower() for c in decoded] != names:
         raise PersistenceError(
             f"database file {path}: segment columns do not match schema of "
             f"table {table.name!r}")
+    column_values: list[list[Any]] = []
     for column, piece in zip(table.columns, decoded):
         data, mask = piece.materialise()
         if isinstance(data, Vector):
@@ -285,6 +348,8 @@ def _load_segment(table: Any, blob: bytes,
             raise PersistenceError(
                 f"database file {path}: segment column {column.name!r} "
                 f"length mismatch")
+        column_values.append(values)
+    for column, values in zip(table.columns, column_values):
         # values came out of the storage layer once already (coerced on the
         # original insert), so they append verbatim; the scan caches of a
         # freshly created column are empty, but mark dirty anyway so partial
@@ -296,3 +361,84 @@ def _load_segment(table: Any, blob: bytes,
 
 def _apply_mask(values: list[Any], mask: Any) -> list[Any]:
     return [None if null else value for value, null in zip(values, mask)]
+
+
+# --------------------------------------------------------------------------- #
+# verification (the image half of the VERIFY statement)
+# --------------------------------------------------------------------------- #
+@dataclass
+class TableVerify:
+    """Per-table outcome of an image scrub."""
+
+    name: str
+    rows: int = 0
+    segments: int = 0
+    corrupt_segments: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.corrupt_segments == 0 and not self.errors
+
+
+@dataclass
+class ImageVerifyReport:
+    """Outcome of re-checking every checksum of one database image."""
+
+    path: str
+    generation: int = 0
+    segment_rows: int = 0
+    #: Fatal file-level problem (bad magic, torn tail, footer checksum):
+    #: nothing below the footer could be checked.
+    error: str | None = None
+    tables: list[TableVerify] = field(default_factory=list)
+    #: Structured locations of every corrupt segment found.
+    faults: list[QuarantinedRange] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(t.ok for t in self.tables)
+
+
+def verify_image(path: str | os.PathLike[str], *,
+                 fs: faults.FileSystem | None = None) -> ImageVerifyReport:
+    """Re-check header, tail, footer crc, and every segment crc of a file.
+
+    Pure reads over the on-disk bytes — nothing is decoded into storage and
+    no lock is taken, so a scrub can run next to live readers.  Faults are
+    reported with the same (table, row range, offset) pinning the salvage
+    loader uses.
+    """
+    report = ImageVerifyReport(path=str(path))
+    try:
+        data = (fs or faults.current_fs()).read_bytes(path)
+        footer = read_footer(data, path)
+    except (OSError, PersistenceError) as exc:
+        report.error = str(exc)
+        return report
+    report.generation = int(footer.get("generation", 0))
+    report.segment_rows = int(footer.get("segment_rows", DEFAULT_SEGMENT_ROWS))
+    for table_meta in footer.get("tables", []):
+        try:
+            name = schema_from_record(table_meta["schema"]).name
+        except Exception:  # footer passed crc, so this is a format bug
+            name = "?"
+        entry = TableVerify(name=name,
+                            rows=int(table_meta.get("row_count", 0)))
+        start_row = 0
+        for segment in table_meta.get("segments", []):
+            seg_rows = int(segment["rows"])
+            fault = _segment_fault(segment, data)
+            entry.segments += 1
+            if fault is not None:
+                entry.corrupt_segments += 1
+                entry.errors.append(
+                    f"{fault} (rows {start_row}..{start_row + seg_rows}, "
+                    f"offset {int(segment['offset'])})")
+                report.faults.append(QuarantinedRange(
+                    table=name, start_row=start_row,
+                    stop_row=start_row + seg_rows,
+                    offset=int(segment["offset"]), reason=fault))
+            start_row += seg_rows
+        report.tables.append(entry)
+    return report

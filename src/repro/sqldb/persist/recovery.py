@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ...errors import PersistenceError
+from . import faults
 from . import format as format_mod
 from .wal import HEADER_SIZE, WalContents, WriteAheadLog, read_wal, unpack_mask
 
@@ -50,6 +51,12 @@ class RecoveryReport:
     wal_torn_header: bool = False
     wal_was_stale: bool = False
     removed_tmp_file: bool = False
+    #: Segments the salvage loader quarantined instead of failing the open
+    #: (always empty without ``salvage=True``).
+    quarantined_segments: int = 0
+    #: WAL records skipped because they target a quarantined table (salvage
+    #: only): their row indices refer to data the placeholders cannot carry.
+    wal_records_skipped: int = 0
 
 
 def wal_path_for(path: str | os.PathLike[str]) -> Path:
@@ -61,8 +68,14 @@ def tmp_path_for(path: str | os.PathLike[str]) -> Path:
 
 
 def recover(path: str | os.PathLike[str], database: "Database",
-            wal: WriteAheadLog) -> RecoveryReport:
-    """Load the image, replay the WAL, and leave ``wal`` open for appends."""
+            wal: WriteAheadLog, *, salvage: bool = False,
+            fs: faults.FileSystem | None = None) -> RecoveryReport:
+    """Load the image, replay the WAL, and leave ``wal`` open for appends.
+
+    ``salvage=True`` quarantines corrupt image segments instead of failing
+    the open (see :func:`repro.sqldb.persist.format.read_database`); WAL
+    replay still runs — replayed appends land after any quarantined range.
+    """
     report = RecoveryReport()
     db_path = Path(path)
     tmp_path = tmp_path_for(path)
@@ -74,10 +87,12 @@ def recover(path: str | os.PathLike[str], database: "Database",
 
     if db_path.exists():
         image = format_mod.read_database(db_path, database.storage,
-                                         database.catalog)
+                                         database.catalog,
+                                         salvage=salvage, fs=fs)
         report.generation = image.generation
         report.image_tables = image.tables
         report.image_rows = image.rows
+        report.quarantined_segments = len(image.quarantined)
         for name in database.catalog.names():
             database.udf_runtime.invalidate(name)
 
@@ -89,9 +104,9 @@ def recover(path: str | os.PathLike[str], database: "Database",
             report.wal_torn_header = True
             wal.create(report.generation)
             return report
-        contents = read_wal(wal.path)
+        contents = read_wal(wal.path, fs=fs)
         if contents.generation == report.generation:
-            good_end = _replay(database, contents, report)
+            good_end = _replay(database, contents, report, salvage=salvage)
             wal.open_at(good_end)
         else:
             # stale log from before the last completed checkpoint (the crash
@@ -108,7 +123,7 @@ def recover(path: str | os.PathLike[str], database: "Database",
 # record replay
 # --------------------------------------------------------------------------- #
 def _replay(database: "Database", contents: WalContents,
-            report: RecoveryReport) -> int:
+            report: RecoveryReport, *, salvage: bool = False) -> int:
     """Replay WAL records statement-atomically; returns the truncation point.
 
     A bulk statement is logged as a *group* of consecutive records — every
@@ -118,10 +133,26 @@ def _replay(database: "Database", contents: WalContents,
     ends inside a group is discarded and truncated away exactly like a torn
     record, because replaying a prefix would recover a partially-applied
     statement no committed execution could produce.
+
+    In salvage mode, records that insert into / delete from / update a
+    *quarantined* table are skipped: their row indices refer to real values
+    the NULL placeholders cannot stand in for.  TRUNCATE and DROP still
+    apply — they discard the quarantine along with the data, so records
+    after them replay normally.
     """
     pending: list[dict[str, Any]] = []
     pending_start = contents.good_end
     replayed = 0
+    skipped = 0
+
+    def _apply(record: dict[str, Any]) -> None:
+        nonlocal replayed, skipped
+        if salvage and _targets_quarantined(database, record):
+            skipped += 1
+            return
+        apply_record(database, record)
+        replayed += 1
+
     for record, offset in zip(contents.records, contents.record_offsets):
         if record.get("more"):
             if not pending:
@@ -129,17 +160,29 @@ def _replay(database: "Database", contents: WalContents,
             pending.append(record)
             continue
         for part in pending:
-            apply_record(database, part)
-        replayed += len(pending)
+            _apply(part)
         pending.clear()
-        apply_record(database, record)
-        replayed += 1
+        _apply(record)
     report.wal_records_replayed = replayed
+    report.wal_records_skipped = skipped
     report.wal_torn_tail = contents.torn or bool(pending)
     if pending:
         # the group's final record never made it to disk: discard the prefix
         return pending_start
     return contents.good_end
+
+
+def _targets_quarantined(database: "Database", record: dict[str, Any]) -> bool:
+    """Whether a row-level record addresses a table with quarantined rows."""
+    if record.get("op") not in ("insert", "delete", "update"):
+        return False
+    name = str(record.get("table", ""))
+    storage = database.storage
+    if not storage.has_table(name):
+        return False
+    return bool(storage.table(name).quarantined)
+
+
 def apply_record(database: "Database", record: dict[str, Any]) -> None:
     """Apply one logical WAL record to the database's in-memory state.
 

@@ -49,6 +49,7 @@ from typing import Any
 
 from ...errors import PersistenceError
 from ...netproto.wire import decode_value, encode_value
+from . import faults
 from .records import pack_mask, unpack_mask  # noqa: F401  (record-level API)
 
 WAL_MAGIC = b"REPROWAL"
@@ -88,14 +89,18 @@ class WalContents:
     torn: bool = False
 
 
-def read_wal(path: str | os.PathLike[str]) -> WalContents:
+def read_wal(path: str | os.PathLike[str], *,
+             fs: faults.FileSystem | None = None) -> WalContents:
     """Read every intact record of a WAL file, discarding a torn tail.
 
     Raises :class:`PersistenceError` only when the *header* is unreadable —
     that is not a torn append but a file that was never a WAL (or lost its
     first sectors, in which case no record boundary is trustworthy).
     """
-    data = Path(path).read_bytes()
+    try:
+        data = (fs or faults.current_fs()).read_bytes(path)
+    except OSError as exc:
+        raise PersistenceError(f"WAL {path}: read failed ({exc})") from exc
     if len(data) < _HEADER.size:
         raise PersistenceError(f"WAL {path}: truncated header")
     magic, version, _reserved, generation = _HEADER.unpack_from(data, 0)
@@ -147,17 +152,43 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str | os.PathLike[str], *,
-                 fsync_batch: int = DEFAULT_FSYNC_BATCH) -> None:
+                 fsync_batch: int = DEFAULT_FSYNC_BATCH,
+                 fs: faults.FileSystem | None = None) -> None:
         self.path = Path(path)
         self.fsync_batch = max(1, int(fsync_batch))
         self._file: Any = None
         self._pending = 0
         self._lock = threading.Lock()
         self.records_appended = 0
+        self._fs = fs
+        #: Set to the failure reason after an fsync the disk rejected.  A
+        #: failed fsync leaves the page cache in an unknown state — the
+        #: kernel may already have dropped the dirty pages — so retrying it
+        #: and reporting success would claim durability the disk never
+        #: confirmed (the "fsyncgate" failure mode).  The log seals instead:
+        #: every further append/flush raises until the store is reopened and
+        #: recovery re-reads what actually made it to disk.
+        self._failed: str | None = None
+
+    @property
+    def fs(self) -> faults.FileSystem:
+        return self._fs or faults.current_fs()
 
     @property
     def closed(self) -> bool:
         return self._file is None
+
+    @property
+    def failed(self) -> str | None:
+        """Why the log sealed itself (``None`` while healthy)."""
+        return self._failed
+
+    def _check_usable(self) -> None:
+        if self._failed is not None:
+            raise PersistenceError(
+                f"WAL {self.path} is sealed after a failed fsync "
+                f"({self._failed}); durability cannot be re-established "
+                "without reopening the database")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -168,7 +199,7 @@ class WriteAheadLog:
         with self._lock:
             if self._file is not None:
                 raise PersistenceError(f"WAL {self.path} is already open")
-            self._file = open(self.path, "r+b")
+            self._file = self.fs.open(self.path, "r+b")
             self._file.truncate(good_end)
             self._file.seek(good_end)
 
@@ -177,31 +208,58 @@ class WriteAheadLog:
         with self._lock:
             if self._file is not None:
                 self._file.close()
-            self._file = open(self.path, "w+b")
+            self._file = self.fs.open(self.path, "w+b")
             self._write_header(generation)
 
     def reset(self, generation: int) -> None:
-        """Truncate to an empty log for a new checkpoint generation; fsynced."""
+        """Truncate to an empty log for a new checkpoint generation; fsynced.
+
+        A reset that fails — the truncate, the header write, or its fsync —
+        seals the log: the file may now hold a dirty mix of old records and
+        a half-written header, and no further append could be honestly
+        acknowledged against it.  (The store seals itself too: a reset only
+        runs after a checkpoint swap, past the point of no return.)
+        """
         with self._lock:
             if self._file is None:
                 raise PersistenceError(f"WAL {self.path} is closed")
-            self._file.seek(0)
-            self._file.truncate(0)
-            self._write_header(generation)
+            self._check_usable()
+            try:
+                self._file.seek(0)
+                self._file.truncate(0)
+                self._write_header(generation)
+            except PersistenceError:
+                raise
+            except OSError as exc:
+                self._failed = f"reset failed: {exc}"
+                raise PersistenceError(
+                    f"WAL {self.path}: reset to generation {generation} "
+                    f"failed ({exc})") from exc
             self._pending = 0
 
     def _write_header(self, generation: int) -> None:
         self._file.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0, generation))
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._sync()
 
     def close(self) -> None:
+        """Fsync pending records (when healthy) and release the handle.
+
+        The file handle is closed even when the final fsync fails — the
+        caller gets the :class:`PersistenceError`, but never a leaked fd.
+        """
         with self._lock:
             if self._file is None:
                 return
-            self._sync()
-            self._file.close()
-            self._file = None
+            try:
+                if self._failed is None and self._pending:
+                    self._sync()
+            finally:
+                try:
+                    self._file.close()
+                except OSError:  # pragma: no cover - close-time disk failure
+                    pass
+                self._file = None
 
     # ------------------------------------------------------------------ #
     # appending
@@ -228,6 +286,7 @@ class WriteAheadLog:
             if self._file is None:
                 raise PersistenceError(
                     f"WAL {self.path} is closed (database was closed?)")
+            self._check_usable()
             group_start = self._file.tell()
             written = 0
             counted = False
@@ -253,7 +312,7 @@ class WriteAheadLog:
                 counted = True
                 if self._pending >= self.fsync_batch:
                     self._sync()
-            except BaseException:
+            except BaseException as exc:
                 if counted:
                     self.records_appended -= written
                     self._pending -= written
@@ -263,15 +322,50 @@ class WriteAheadLog:
                     self._file.flush()
                 except OSError:  # pragma: no cover - disk-level failure
                     pass
+                if counted and self._failed is not None and not self._pending:
+                    # the batch fsync failed but covered ONLY this group's
+                    # records, and the whole group was just truncated away:
+                    # nothing unacknowledged remains whose durability a
+                    # later fsync could falsely claim, so the log may
+                    # honestly continue.  (With earlier records pending the
+                    # seal stands — their pages may already be dropped.)
+                    self._failed = None
+                    raise PersistenceError(
+                        f"WAL {self.path}: batch fsync failed; the "
+                        "unacknowledged group was rolled back (no earlier "
+                        "records were pending, so the log remains usable)"
+                    ) from exc
+                if isinstance(exc, OSError):
+                    # EIO / ENOSPC / torn page mid-group: the whole group was
+                    # truncated away, so nothing unacknowledged can surface
+                    # on recovery and the log stays usable for new appends
+                    raise PersistenceError(
+                        f"WAL {self.path}: append failed ({exc}); the "
+                        "unacknowledged group was rolled back") from exc
                 raise
 
     def flush(self) -> None:
-        """Force pending records to stable storage (group-commit barrier)."""
+        """Force pending records to stable storage (group-commit barrier).
+
+        Unlike a failed *append* fsync — where the whole unacknowledged
+        group can be truncated away — the records behind a flush were
+        already appended and acknowledged at flush-to-OS level, so there is
+        nothing safe to truncate: a failed flush fsync seals the log.
+        """
         with self._lock:
             if self._file is not None:
+                self._check_usable()
                 self._file.flush()
-                self._sync()
+                if self._pending:
+                    self._sync()
 
     def _sync(self) -> None:
-        os.fsync(self._file.fileno())
+        try:
+            self.fs.fsync(self._file)
+        except OSError as exc:
+            self._failed = f"fsync failed: {exc}"
+            raise PersistenceError(
+                f"WAL {self.path}: fsync to stable storage failed ({exc}); "
+                "the log is sealed — a retry against the dirty page cache "
+                "could claim durability the disk never confirmed") from exc
         self._pending = 0

@@ -373,7 +373,11 @@ class SelectPlan:
                 ]
                 scan.bind_batch(Batch(columns, row_count=len(rows)))
                 return
-            scan.bind_table(self.database.storage.table(source_ast.name))
+            table = self.database.storage.table(source_ast.name)
+            # quarantined (salvaged) row ranges must fail the query with a
+            # structured CorruptionError, never scan as placeholder NULLs
+            table.check_readable()
+            scan.bind_table(table)
             return
         if isinstance(source_ast, ast.SubquerySource):
             result = self.database.execute_select(source_ast.query)

@@ -32,7 +32,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import CatalogError, ExecutionError
+from ..errors import CatalogError, CorruptionError, ExecutionError
 from .schema import ColumnDef, TableSchema
 from .types import NUMPY_DTYPES, SQLType, coerce_value
 from .vector import NULL_FILL, Vector, slice_column_values
@@ -213,12 +213,39 @@ def arrays_to_values(data: np.ndarray | Sequence[Any],
     return values
 
 
+@dataclass(frozen=True)
+class QuarantinedRange:
+    """A row range whose on-disk segment failed its checksum.
+
+    Created by the salvage loader (``Database(path=..., salvage=True)``):
+    the range's rows are NULL placeholders, not data, so any access to the
+    table raises a structured :class:`~repro.errors.CorruptionError` until
+    the operator discards the damage (TRUNCATE or DROP TABLE).
+    """
+
+    table: str
+    start_row: int
+    stop_row: int
+    offset: int
+    reason: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"table": self.table, "start_row": self.start_row,
+                "stop_row": self.stop_row, "offset": self.offset,
+                "reason": self.reason}
+
+
 class Table:
     """A stored table: a schema plus one :class:`Column` per schema column."""
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self.columns: list[Column] = [Column(col) for col in schema.columns]
+        #: Row ranges sealed by the salvage loader; non-empty quarantine
+        #: blocks every read and row-rewriting mutation (see
+        #: :meth:`check_readable`).  Appends are still allowed — they land
+        #: after the damaged range — and TRUNCATE/DROP clear it.
+        self.quarantined: list[QuarantinedRange] = []
 
     # ------------------------------------------------------------------ #
     # properties
@@ -237,6 +264,33 @@ class Table:
 
     def column(self, name: str) -> Column:
         return self.columns[self.schema.column_index(name)]
+
+    # ------------------------------------------------------------------ #
+    # quarantine (salvage mode)
+    # ------------------------------------------------------------------ #
+    def quarantine(self, entry: QuarantinedRange) -> None:
+        """Seal a row range whose backing segment failed its checksum."""
+        self.quarantined.append(entry)
+
+    def check_readable(self) -> None:
+        """Raise :class:`CorruptionError` when quarantined rows exist.
+
+        Called by every scan and row-rewriting mutation path: quarantined
+        rows are NULL placeholders, and serving (or rewriting) them as data
+        would silently launder the corruption into query results.
+        """
+        if not self.quarantined:
+            return
+        first = self.quarantined[0]
+        ranges = ", ".join(f"{entry.start_row}..{entry.stop_row}"
+                           for entry in self.quarantined)
+        raise CorruptionError(
+            f"table {self.name!r} has quarantined row ranges [{ranges}] "
+            f"from corrupt on-disk segments (first: {first.reason}); "
+            "restore from backup, or TRUNCATE/DROP the table to discard",
+            table=self.name,
+            row_range=(first.start_row, first.stop_row),
+            offset=first.offset)
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -264,6 +318,7 @@ class Table:
 
     def delete_rows(self, keep_mask: Sequence[bool]) -> int:
         """Keep only rows where ``keep_mask`` is True; return rows removed."""
+        self.check_readable()
         if len(keep_mask) != self.row_count:
             raise ExecutionError("DELETE mask length mismatch")
         removed = sum(1 for keep in keep_mask if not keep)
@@ -282,6 +337,7 @@ class Table:
         scan caches never invalidated (the caches would then serve data the
         stored lists no longer contain).
         """
+        self.check_readable()
         coerced: dict[str, list[tuple[int, Any]]] = {}
         for col_name, new_values in assignments.items():
             column = self.column(col_name)
@@ -302,21 +358,27 @@ class Table:
         return sum(1 for selected in mask if selected)
 
     def truncate(self) -> None:
+        # explicit destruction discards quarantined placeholders with the
+        # data, so a salvaged table becomes writable again
         for column in self.columns:
             column.values = []
             column.mark_dirty()
+        self.quarantined.clear()
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     def rows(self) -> Iterator[tuple[Any, ...]]:
+        self.check_readable()
         for index in range(self.row_count):
             yield tuple(column.values[index] for column in self.columns)
 
     def to_dict(self) -> dict[str, list[Any]]:
+        self.check_readable()
         return {column.name: list(column.values) for column in self.columns}
 
     def to_numpy_dict(self) -> dict[str, np.ndarray]:
+        self.check_readable()
         return {column.name: column.to_numpy() for column in self.columns}
 
 

@@ -122,3 +122,118 @@ class TestServerMainDbFlag:
         check = Database(path=path)
         assert check.execute("SELECT s FROM greetings").scalar() == "hello"
         check.close()
+
+
+class TestStatsMessage:
+    def test_server_stats_round_trip(self, tmp_path):
+        path = tmp_path / "stats.db"
+        database = Database(path=path)
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        connection.execute("CREATE TABLE t (i INTEGER)")
+        connection.execute("INSERT INTO t VALUES (1), (2)")
+        stats = connection.server_stats()
+        # one flat namespace: engine, durability, and wire counters together
+        assert stats["db.tables"] == 1
+        assert stats["server.queries_executed"] == 2
+        assert stats["server.corruption_errors"] == 0
+        assert stats["persist.wal_sealed"] == 0
+        assert "persist.verify_runs" in stats
+        connection.close()
+        database.close()
+
+    def test_stats_requires_authentication(self):
+        from repro.netproto.messages import MSG_STATS
+
+        server = DatabaseServer()
+        session = server.open_session()
+        reply = next(iter(server.handle_message_stream(
+            session, {"type": MSG_STATS})))
+        assert reply["type"] == "error"
+        assert reply["code"] == "auth"
+
+    def test_corruption_errors_are_counted(self, tmp_path):
+        from repro.errors import CorruptionError
+        from repro.sqldb.persist import format as persist_format
+
+        path = tmp_path / "rot.db"
+        seeded = Database(path=path)
+        seeded.execute("CREATE TABLE t (i INTEGER)")
+        seeded.execute("INSERT INTO t VALUES (1), (2), (3)")
+        seeded.close()
+        data = bytearray(path.read_bytes())
+        footer = persist_format.read_footer(bytes(data), path)
+        segment = footer["tables"][0]["segments"][0]
+        data[segment["offset"] + 5] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        database = Database(path=path, salvage=True)
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        try:
+            connection.execute("SELECT * FROM t")
+        except CorruptionError:
+            pass
+        stats = connection.server_stats()
+        assert stats["server.corruption_errors"] == 1
+        assert stats["persist.quarantined_tables"] == 1
+        connection.close()
+        database.persistence.close(checkpoint=False)
+
+
+class TestVerifyBackupOverWire:
+    def test_verify_and_backup_statements(self, tmp_path):
+        path = tmp_path / "wireverify.db"
+        target = tmp_path / "wirecopy.db"
+        database = Database(path=path)
+        server = DatabaseServer(database)
+        connection = Connection.connect_in_process(server)
+        connection.execute("CREATE TABLE t (i INTEGER)")
+        connection.execute("INSERT INTO t VALUES (1), (2), (3)")
+        connection.execute("CHECKPOINT")
+        verify = connection.execute("VERIFY")
+        statuses = dict(zip(verify.to_dict()["object"],
+                            verify.to_dict()["status"]))
+        assert statuses["t"] == "ok"
+        backup = connection.execute(f"BACKUP TO '{target}'")
+        assert backup.to_dict()["rows"] == [3]
+        connection.close()
+        database.close()
+        restored = Database(path=target)
+        assert restored.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        restored.close()
+
+
+class TestVerifyOnStart:
+    def test_clean_database_starts(self, capsys, tmp_path, monkeypatch):
+        import threading
+
+        path = tmp_path / "vclean.db"
+        seeded = Database(path=path)
+        seeded.execute("CREATE TABLE t (i INTEGER)")
+        seeded.execute("INSERT INTO t VALUES (1)")
+        seeded.close()
+        monkeypatch.setattr(threading.Thread, "join",
+                            lambda self, timeout=None: None)
+        assert server_main(["--db", str(path), "--port", "0",
+                            "--verify-on-start"]) == 0
+        output = capsys.readouterr().out
+        assert "ok=True" in output
+
+    def test_corrupt_database_refuses_to_serve(self, capsys, tmp_path):
+        from repro.sqldb.persist import format as persist_format
+
+        path = tmp_path / "vrot.db"
+        seeded = Database(path=path)
+        seeded.execute("CREATE TABLE t (i INTEGER)")
+        seeded.execute("INSERT INTO t VALUES (1), (2), (3)")
+        seeded.close()
+        data = bytearray(path.read_bytes())
+        footer = persist_format.read_footer(bytes(data), path)
+        segment = footer["tables"][0]["segments"][0]
+        data[segment["offset"] + 5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert server_main(["--db", str(path), "--port", "0",
+                            "--verify-on-start"]) == 1
+        output = capsys.readouterr().out
+        assert "CORRUPT" in output and "table 't'" in output

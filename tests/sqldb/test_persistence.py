@@ -545,7 +545,7 @@ class TestWalDetails:
         real_write = checkpoint_mod.format_mod.write_database
         monkeypatch.setattr(checkpoint_mod.format_mod, "write_database",
                             lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")))
-        with pytest.raises(OSError):
+        with pytest.raises(PersistenceError, match="retryable"):
             database.checkpoint()
         assert not (tmp_path / "prep.db.tmp").exists()
         # still fully usable: appends and a retried checkpoint succeed
@@ -612,7 +612,7 @@ class TestWalDetails:
         real_fsync = wal_mod.os.fsync
         monkeypatch.setattr(wal_mod.os, "fsync",
                             lambda fd: (_ for _ in ()).throw(OSError("EIO")))
-        with pytest.raises(OSError):
+        with pytest.raises(PersistenceError, match="rolled back"):
             database.execute("INSERT INTO t VALUES (2)")
         monkeypatch.setattr(wal_mod.os, "fsync", real_fsync)
         assert database.execute("SELECT i FROM t").fetchall() == [(1,)]
@@ -662,7 +662,7 @@ class TestWalDetails:
         real_replace = os_mod.replace
         monkeypatch.setattr(checkpoint_mod.os, "replace",
                             lambda *a: (_ for _ in ()).throw(OSError("EACCES")))
-        with pytest.raises(OSError):
+        with pytest.raises(PersistenceError, match="swap"):
             database.checkpoint()
         monkeypatch.setattr(checkpoint_mod.os, "replace", real_replace)
         # still fully usable: appends and a retried checkpoint succeed
