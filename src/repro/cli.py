@@ -172,7 +172,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_demo_server(args: argparse.Namespace) -> int:
-    from .netproto.server import SocketServer
+    from .netproto.server import AsyncSocketServer, SocketServer
     from .workloads.udf_corpus import demo_server
 
     server, setup = demo_server(args.csv_dir,
@@ -180,11 +180,14 @@ def cmd_demo_server(args: argparse.Namespace) -> int:
                                 with_classifier=args.with_classifier,
                                 with_extras=True,
                                 db_path=args.db)
-    socket_server = SocketServer(server, host=args.host, port=args.port)
+    server_cls = SocketServer if args.frontend == "threaded" \
+        else AsyncSocketServer
+    socket_server = server_cls(server, host=args.host, port=args.port)
     host, port = socket_server.start_background()
     mode = f"durable ({args.db})" if args.db else "in-memory"
     print(f"demo server listening on {host}:{port} "
-          f"(user=monetdb password=monetdb database=demo, {mode})")
+          f"(user=monetdb password=monetdb database=demo, {mode}, "
+          f"{args.frontend} front end)")
     print(f"CSV workload: {setup.workload.total_rows} rows in "
           f"{len(setup.workload.files)} files under {setup.csv_directory}")
     print(json.dumps({"host": host, "port": port}, indent=2))
@@ -269,7 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--with-classifier", action="store_true", dest="with_classifier")
     demo_parser.add_argument("--block", action="store_true",
                              help="keep serving until interrupted")
-    demo_parser.set_defaults(func=cmd_demo_server)
+    frontend = demo_parser.add_mutually_exclusive_group()
+    frontend.add_argument("--async", action="store_const", dest="frontend",
+                          const="async",
+                          help="selector event-loop front end (default)")
+    frontend.add_argument("--threaded", action="store_const", dest="frontend",
+                          const="threaded",
+                          help="thread-per-connection front end")
+    demo_parser.set_defaults(func=cmd_demo_server, frontend="async")
     return parser
 
 

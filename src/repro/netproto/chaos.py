@@ -50,6 +50,11 @@ class FaultSpec:
     chop: int | None = None
     #: Sleep this long before relaying each downstream read (slow network).
     delay: float = 0.0
+    #: Stop reading from the server once this many downstream bytes were
+    #: relayed (``None`` disables).  The connection stays open but no more
+    #: bytes move — a client that stopped reading mid-stream.  Keyed on
+    #: bytes so the handshake passes and the stall lands in the result.
+    stall_after_bytes: int | None = None
 
 
 class ChaosProxy:
@@ -152,6 +157,13 @@ class _ConnectionState:
         spec = self.spec
         try:
             while True:
+                if spec.stall_after_bytes is not None and \
+                        self.downstream_bytes >= spec.stall_after_bytes:
+                    # stop reading but keep the connection open: the server
+                    # sees a reader that simply went quiet
+                    while self.proxy._running:
+                        time.sleep(0.05)
+                    break
                 data = self.server.recv(65536)
                 if not data:
                     break

@@ -43,10 +43,15 @@ from .messages import (
     MSG_CANCELLED,
     MSG_CHALLENGE,
     MSG_CLOSE,
+    MSG_DEALLOCATE,
+    MSG_DEALLOCATED,
     MSG_ERROR,
+    MSG_EXECUTE_PREPARED,
     MSG_LOGIN,
     MSG_LOGIN_OK,
     MSG_HELLO,
+    MSG_PREPARE,
+    MSG_PREPARED,
     MSG_QUERY,
     MSG_RESULT,
     MSG_STATS,
@@ -196,12 +201,14 @@ class Connection:
     @classmethod
     def connect_tcp(cls, info: ConnectionInfo, *,
                     timeout: float = 10.0,
+                    max_protocol_version: int = PROTOCOL_VERSION,
                     retry_policy: RetryPolicy | None = None) -> "Connection":
         """Connect over TCP, retrying refused/dropped connects with backoff."""
         factory = lambda: SocketTransport(info.host, info.port,  # noqa: E731
                                           timeout=timeout)
         connection = cls(cls._connect_with_backoff(factory, retry_policy),
-                         info, retry_policy=retry_policy)
+                         info, max_protocol_version=max_protocol_version,
+                         retry_policy=retry_policy)
         connection._transport_factory = factory
         connection.login()
         return connection
@@ -303,6 +310,12 @@ class Connection:
         if timeout is not None:
             request_options["timeout"] = float(timeout)
         request = {"type": MSG_QUERY, "sql": sql, "options": request_options}
+        return self._submit_query(request, sql)
+
+    def _submit_query(self, request: dict[str, Any],
+                      sql: str) -> "ResultStream":
+        """Send a query-shaped request and assemble its result stream
+        (shared by :meth:`execute_stream` and :meth:`execute_prepared`)."""
         reply = self._exchange_with_retry(request, sql)
         if reply.get("type") == MSG_ERROR:
             raise exception_for_error(reply)
@@ -336,6 +349,68 @@ class Connection:
             total_rows=stats_dict.get("total_rows"),
         )
         return ResultStream(self, result=result, transfer=transfer)
+
+    # ------------------------------------------------------------------ #
+    # prepared statements
+    # ------------------------------------------------------------------ #
+    def prepare(self, name: str, sql: str) -> "PreparedHandle":
+        """Register ``sql`` (with ``?`` placeholders) under ``name`` on the
+        server and return a handle for repeated execution.
+
+        The server parses the statement once into its shared prepared
+        registry; every :meth:`PreparedHandle.execute` call afterwards skips
+        the parser entirely and binds the supplied arguments.
+        """
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        if not self._authenticated:
+            raise AuthenticationError("connection is not authenticated")
+        self._drain_active_stream()
+        reply = self._exchange({"type": MSG_PREPARE, "name": name,
+                                "sql": sql})
+        if reply.get("type") == MSG_ERROR:
+            raise exception_for_error(reply)
+        if reply.get("type") != MSG_PREPARED:
+            raise ProtocolError(f"unexpected reply {reply.get('type')!r}")
+        return PreparedHandle(self, str(reply.get("name", name)), sql,
+                              int(reply.get("parameter_count", 0)))
+
+    def execute_prepared(self, name: str, args: Sequence[Any] = (), *,
+                         sql: str | None = None,
+                         options: TransferOptions | None = None,
+                         timeout: float | None = None) -> QueryResult:
+        """Execute a server-side prepared statement with bound ``args``.
+
+        ``sql`` is the template text when known (a handle supplies it) so
+        idempotent SELECT templates stay eligible for automatic retry; for a
+        statement prepared by another connection pass nothing and the call is
+        treated as non-idempotent.
+        """
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        if not self._authenticated:
+            raise AuthenticationError("connection is not authenticated")
+        self._drain_active_stream()
+        options = options or self.default_options
+        request_options = options.as_dict()
+        if timeout is not None:
+            request_options["timeout"] = float(timeout)
+        request = {"type": MSG_EXECUTE_PREPARED, "name": name,
+                   "args": list(args), "options": request_options}
+        retry_sql = sql if sql is not None else f"EXECUTE {name}"
+        return self._submit_query(request, retry_sql).result()
+
+    def deallocate(self, name: str) -> bool:
+        """Drop a prepared statement; returns whether the name existed."""
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        self._drain_active_stream()
+        reply = self._exchange({"type": MSG_DEALLOCATE, "name": name})
+        if reply.get("type") == MSG_ERROR:
+            raise exception_for_error(reply)
+        if reply.get("type") != MSG_DEALLOCATED:
+            raise ProtocolError(f"unexpected reply {reply.get('type')!r}")
+        return bool(reply.get("found"))
 
     def _drain_active_stream(self) -> None:
         """Finish the in-flight chunk stream so the transport stays in sync."""
@@ -493,6 +568,38 @@ class Connection:
 
     def _exchange(self, message: dict[str, Any]) -> dict[str, Any]:
         return self._transport.exchange(message)
+
+
+class PreparedHandle:
+    """Client handle to a server-side prepared statement.
+
+    Created by :meth:`Connection.prepare`; each :meth:`execute` is one
+    ``execute_prepared`` round trip that skips SQL parsing on the server.
+    """
+
+    def __init__(self, connection: Connection, name: str, sql: str,
+                 parameter_count: int) -> None:
+        self.connection = connection
+        self.name = name
+        self.sql = sql
+        self.parameter_count = parameter_count
+
+    def execute(self, args: Sequence[Any] = (), *,
+                options: TransferOptions | None = None,
+                timeout: float | None = None) -> QueryResult:
+        if len(args) != self.parameter_count:
+            raise ExecutionError(
+                f"prepared statement '{self.name}' expects "
+                f"{self.parameter_count} argument(s), got {len(args)}")
+        return self.connection.execute_prepared(
+            self.name, args, sql=self.sql, options=options, timeout=timeout)
+
+    def deallocate(self) -> bool:
+        return self.connection.deallocate(self.name)
+
+    def __repr__(self) -> str:
+        return (f"PreparedHandle(name={self.name!r}, "
+                f"parameters={self.parameter_count})")
 
 
 class ResultStream:

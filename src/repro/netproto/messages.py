@@ -69,6 +69,18 @@ MSG_CANCELLED = "cancelled"
 #: — the server's flat counter snapshot (engine, durability, server faults).
 MSG_STATS = "stats"
 MSG_STATS_RESULT = "stats_result"
+#: Prepared statements: ``{"type": "prepare", "name": n, "sql": s}`` answered
+#: with ``{"type": "prepared", "name": n, "parameter_count": k}``;
+#: ``{"type": "execute_prepared", "name": n, "args": [...], "options": {...}}``
+#: answered with a normal ``result`` (+ chunk) stream; ``{"type":
+#: "deallocate", "name": n | None}`` answered with ``{"type": "deallocated",
+#: "name": n}``.  Templates live in the shared database registry, so any
+#: authenticated session may EXECUTE a name another session PREPAREd.
+MSG_PREPARE = "prepare"
+MSG_PREPARED = "prepared"
+MSG_EXECUTE_PREPARED = "execute_prepared"
+MSG_DEALLOCATE = "deallocate"
+MSG_DEALLOCATED = "deallocated"
 
 # --------------------------------------------------------------------------- #
 # structured error frames

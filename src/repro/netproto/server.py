@@ -16,10 +16,13 @@ from __future__ import annotations
 import hmac
 import itertools
 import secrets
+import selectors
 import socket
 import socketserver
 import threading
 import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -49,10 +52,15 @@ from .messages import (
     MSG_CHALLENGE,
     MSG_CLOSE,
     MSG_CLOSED,
+    MSG_DEALLOCATE,
+    MSG_DEALLOCATED,
     MSG_ERROR,
+    MSG_EXECUTE_PREPARED,
     MSG_HELLO,
     MSG_LOGIN,
     MSG_LOGIN_OK,
+    MSG_PREPARE,
+    MSG_PREPARED,
     MSG_QUERY,
     MSG_RESULT,
     MSG_STATS,
@@ -63,7 +71,13 @@ from .messages import (
     error_message_for,
     streamed_result_messages,
 )
-from .wire import decode_frame, decode_message, encode_message, read_frame
+from .wire import (
+    decode_frame,
+    decode_message,
+    encode_message,
+    extract_frame,
+    read_frame,
+)
 
 
 @dataclass
@@ -104,6 +118,9 @@ class ServerStats:
     queries_timed_out: int = 0
     client_disconnects: int = 0
     idle_disconnects: int = 0
+    #: Clients dropped for not reading a streamed result for longer than
+    #: ``ServerLimits.send_timeout`` (async front end backpressure guard).
+    stalled_disconnects: int = 0
     wire_errors: int = 0
     #: Queries that failed with a :class:`repro.errors.CorruptionError`
     #: (quarantined rows touched, checksum mismatch surfaced mid-statement).
@@ -238,8 +255,9 @@ class DatabaseServer:
         #: :class:`ReproError` injects that failure into the normal error path.
         self.fault_hook: Callable[[str], None] | None = None
         # surface the wire-layer fault counters through SHOW STATS / the
-        # stats message next to the engine's and the store's
-        self.database.register_stats_source("server", self.stats.counters)
+        # stats message next to the engine's and the store's, merged with
+        # the plan/result cache counters and the live connection gauge
+        self.database.register_stats_source("server", self._server_counters)
         self._next_session = 1
         self._lock = threading.Lock()
         self._sessions: dict[int, Session] = {}
@@ -284,6 +302,13 @@ class DatabaseServer:
     def active_sessions(self) -> int:
         with self._lock:
             return len(self._sessions)
+
+    def _server_counters(self) -> dict[str, int]:
+        """The ``server.*`` section of SHOW STATS / the ``stats`` message."""
+        counters = self.stats.counters()
+        counters["open_connections"] = self.active_sessions
+        counters.update(self.database.cache_counters())
+        return counters
 
     # ------------------------------------------------------------------ #
     # shutdown
@@ -355,8 +380,12 @@ class DatabaseServer:
                     self._handle_hello(session, message),)
             elif message_type == MSG_LOGIN:
                 responses = (self._handle_login(session, message),)
-            elif message_type == MSG_QUERY:
+            elif message_type in (MSG_QUERY, MSG_EXECUTE_PREPARED):
                 responses = self._handle_query(session, message)
+            elif message_type == MSG_PREPARE:
+                responses = (self._handle_prepare(session, message),)
+            elif message_type == MSG_DEALLOCATE:
+                responses = (self._handle_deallocate(session, message),)
             elif message_type == MSG_CANCEL:
                 # deliberately allowed pre-auth: a cancel arrives on a fresh
                 # connection (the original one is busy streaming the query)
@@ -454,13 +483,53 @@ class DatabaseServer:
             self.stats.queries_cancelled += 1
         return {"type": MSG_CANCELLED, "found": found}
 
+    def _handle_prepare(self, session: Session,
+                        message: dict[str, Any]) -> dict[str, Any]:
+        """``prepare`` request: register a named template server-side."""
+        if not session.authenticated:
+            raise AuthenticationError("not authenticated")
+        name = str(message.get("name", ""))
+        sql = str(message.get("sql", ""))
+        if not name.strip():
+            raise ProtocolError("prepare requires a statement name")
+        if not sql.strip():
+            raise ProtocolError("prepare requires statement text")
+        prepared = self.database.prepare(name, sql)
+        return {"type": MSG_PREPARED, "name": prepared.name,
+                "parameter_count": prepared.parameter_count}
+
+    def _handle_deallocate(self, session: Session,
+                           message: dict[str, Any]) -> dict[str, Any]:
+        """``deallocate`` request: drop one template (or all with no name)."""
+        if not session.authenticated:
+            raise AuthenticationError("not authenticated")
+        name = message.get("name")
+        found = self.database.deallocate(
+            str(name) if name is not None else None)
+        return {"type": MSG_DEALLOCATED,
+                "name": name, "found": found}
+
     def _handle_query(self, session: Session,
                       message: dict[str, Any]) -> Iterable[dict[str, Any]]:
         if not session.authenticated:
             raise AuthenticationError("not authenticated")
-        sql = str(message.get("sql", ""))
-        if not sql.strip():
-            raise ProtocolError("empty query")
+        prepared_name: str | None = None
+        prepared_args: list[Any] = []
+        if message.get("type") == MSG_EXECUTE_PREPARED:
+            prepared_name = str(message.get("name", ""))
+            if not prepared_name.strip():
+                raise ProtocolError("execute_prepared requires a name")
+            raw_args = message.get("args")
+            if raw_args is None:
+                raw_args = []
+            if not isinstance(raw_args, list):
+                raise ProtocolError("execute_prepared args must be a list")
+            prepared_args = raw_args
+            sql = f"EXECUTE {prepared_name}"
+        else:
+            sql = str(message.get("sql", ""))
+            if not sql.strip():
+                raise ProtocolError("empty query")
         options = message.get("options") or {}
         compression = options.get("compression") or compression_mod.CODEC_NONE
         compression_mod.get_codec(compression)  # validate before executing
@@ -487,7 +556,16 @@ class DatabaseServer:
         self._register_query(session, context)
         try:
             self._fault("query_start")
-            if session.protocol_version >= 4 and self.stream_results:
+            if prepared_name is not None:
+                # prepared executions are repeated point/small queries: the
+                # materialised path (result-cache friendly) serves every
+                # protocol version uniformly
+                result = self.database.execute_prepared(
+                    prepared_name, prepared_args, context=context)
+                session.queries_executed += 1
+                self.stats.queries_executed += 1
+                self.stats.query_log.append(sql)
+            elif session.protocol_version >= 4 and self.stream_results:
                 outcome = self.database.execute_stream(
                     sql, max_rows=chunk_rows, context=context)
                 session.queries_executed += 1
@@ -599,17 +677,22 @@ class DatabaseServer:
         return b"".join(self.handle_frame_stream(session, frame_payload))
 
     def handle_frame_stream(self, session: Session,
-                            frame_payload: bytes) -> Iterator[bytes]:
+                            frame_payload: bytes,
+                            message: dict[str, Any] | None = None
+                            ) -> Iterator[bytes]:
         """One request frame in; yields each encoded response frame lazily.
 
         This is the streaming entry point: a chunked result is encoded one
         chunk per iteration, so transports can flush frame *i* before frame
-        *i + 1* exists.
+        *i + 1* exists.  ``message`` may carry the already-decoded payload
+        (the async front end peeks at the type to route frames, so it avoids
+        decoding twice).
         """
         session.bytes_received += len(frame_payload)
         self.stats.bytes_received += len(frame_payload)
         try:
-            request = decode_message(frame_payload)
+            request = message if message is not None \
+                else decode_message(frame_payload)
         except WireFormatError as exc:
             # a well-framed but undecodable payload: framing is still in
             # sync, so answer with a structured error and keep the
@@ -790,6 +873,489 @@ class SocketServer(socketserver.ThreadingTCPServer):
             self._thread = None
 
 
+class _AsyncConnection:
+    """Per-connection state tracked by :class:`AsyncSocketServer`'s loop."""
+
+    __slots__ = ("sock", "session", "recv_buffer", "send_lock", "send_chunks",
+                 "send_bytes", "drained", "want_write", "busy", "closing",
+                 "dead", "pending", "last_activity")
+
+    def __init__(self, sock: socket.socket, session: Session) -> None:
+        self.sock = sock
+        self.session = session
+        self.recv_buffer = bytearray()
+        #: Outgoing frames; appended by worker threads (under ``send_lock``),
+        #: drained by the event loop when the socket is writable.
+        self.send_lock = threading.Lock()
+        self.send_chunks: "deque[memoryview]" = deque()
+        self.send_bytes = 0
+        #: Set while the buffer is below the low-water mark; a worker
+        #: streaming chunks waits on this when the reader falls behind.
+        self.drained = threading.Event()
+        self.drained.set()
+        self.want_write = False
+        #: A query worker is processing a frame for this connection (frames
+        #: are handled strictly in order; more queue in ``pending``).
+        self.busy = False
+        self.closing = False     # flush remaining output, then close
+        self.dead = False        # torn down; reject all further work
+        self.pending: "deque[tuple[bytes, dict[str, Any] | None]]" = deque()
+        self.last_activity = time.monotonic()
+
+
+class AsyncSocketServer:
+    """A single-threaded selector event loop multiplexing many connections.
+
+    The thread-per-connection :class:`SocketServer` burns a thread (and its
+    stack) per client even when the client is idle; this front end holds
+    thousands of mostly-idle connections on one event loop thread.  The loop
+    only ever does non-blocking work: reading bytes into per-connection
+    buffers, splitting frames (:func:`repro.netproto.wire.extract_frame`),
+    answering cheap control messages inline, and handing query frames to a
+    bounded worker pool.  Workers stream response frames back through
+    per-connection send buffers; the loop flushes them as sockets become
+    writable.
+
+    Backpressure: when a connection's send buffer passes the high-water mark
+    its worker blocks on the buffer draining — pausing only that query's
+    morsel flow, never the loop.  A reader stalled longer than
+    ``limits.send_timeout`` is disconnected and its query cancelled, so a
+    client that stops reading mid-stream cannot pin an execution slot (the
+    eager-release/backpressure fix).
+
+    The constructor/``start_background``/``stop``/``address`` surface
+    matches :class:`SocketServer`, so the two front ends are drop-in
+    interchangeable for tests and the CLI.
+    """
+
+    #: Send-buffer watermarks: a worker pauses above ``HIGH_WATER`` bytes
+    #: and resumes once the loop drains the buffer below ``LOW_WATER``.
+    HIGH_WATER = 1 << 20
+    LOW_WATER = 1 << 18
+    #: Per-connection cap on frames queued behind an executing query; a
+    #: client that pipelines past it is dropped (protocol abuse).
+    MAX_PIPELINED_FRAMES = 128
+
+    def __init__(self, database_server: DatabaseServer,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 poll_interval: float = 0.25) -> None:
+        self.database_server = database_server
+        self.poll_interval = poll_interval
+        limits = database_server.limits
+        self._listener = socket.create_server((host, port), backlog=1024,
+                                              reuse_port=False)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                ("accept", None))
+        # wake pipe: workers nudge the loop to apply queued callbacks
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ,
+                                ("wake", None))
+        self._calls: "deque[Callable[[], None]]" = deque()
+        slots = limits.max_concurrent_queries + limits.max_queue_depth
+        self._max_inflight = slots
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=slots + 4,
+                                        thread_name_prefix="query-worker")
+        self._connections: set[_AsyncConnection] = set()
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (mirrors SocketServer)
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        name = self._listener.getsockname()
+        return name[0], name[1]
+
+    def start_background(self) -> tuple[str, int]:
+        """Start the event loop in a daemon thread; returns (host, port)."""
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name="async-server-loop")
+        self._thread.start()
+        return self.address
+
+    def stop(self, drain_timeout: float | None = 5.0) -> None:
+        """Graceful shutdown: drain in-flight queries, then tear down."""
+        self.database_server.drain(drain_timeout)
+        self._running = False
+        self._notify()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._pool.shutdown(wait=True)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for sock in (self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # used by SocketServer-compatible call sites
+    def serve_forever(self) -> None:  # pragma: no cover - CLI foreground mode
+        self._running = True
+        self._serve()
+
+    # ------------------------------------------------------------------ #
+    # event loop
+    # ------------------------------------------------------------------ #
+    def _serve(self) -> None:
+        last_reap = time.monotonic()
+        while self._running:
+            events = self._selector.select(timeout=self.poll_interval)
+            for key, mask in events:
+                kind, conn = key.data
+                if kind == "accept":
+                    self._accept()
+                elif kind == "wake":
+                    self._drain_wake()
+                else:
+                    if mask & selectors.EVENT_READ:
+                        self._on_readable(conn)
+                    if mask & selectors.EVENT_WRITE and not conn.dead:
+                        self._on_writable(conn)
+            self._run_callbacks()
+            now = time.monotonic()
+            if now - last_reap >= self.poll_interval:
+                self._reap_idle(now)
+                last_reap = now
+        # loop exit: tear down every connection (stop() already drained)
+        for conn in list(self._connections):
+            self._drop(conn, None)
+
+    def _notify(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # wake byte already pending (or shutting down)
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _call_soon(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` on the loop thread (thread-safe)."""
+        self._calls.append(callback)
+        self._notify()
+
+    def _run_callbacks(self) -> None:
+        while True:
+            try:
+                callback = self._calls.popleft()
+            except IndexError:
+                return
+            callback()
+
+    def _reap_idle(self, now: float) -> None:
+        timeout = self.database_server.limits.idle_timeout
+        if timeout is None:
+            return
+        stats = self.database_server.stats
+        for conn in list(self._connections):
+            if conn.busy:
+                continue
+            # unflushed output does not keep a connection alive: a client
+            # that neither reads nor writes for idle_timeout is gone
+            if now - conn.last_activity > timeout:
+                stats.idle_disconnects += 1
+                self._drop(conn, None)
+
+    # ------------------------------------------------------------------ #
+    # accept / read / write
+    # ------------------------------------------------------------------ #
+    def _accept(self) -> None:
+        server = self.database_server
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            try:
+                session = server.open_session()
+            except ServerBusyError as exc:
+                # best effort: the frame is tiny, one non-blocking send
+                try:
+                    sock.send(encode_message(server._error_response(exc)))
+                except OSError:
+                    pass
+                sock.close()
+                continue
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _AsyncConnection(sock, session)
+            self._connections.add(conn)
+            self._selector.register(sock, selectors.EVENT_READ,
+                                    ("conn", conn))
+
+    def _on_readable(self, conn: _AsyncConnection) -> None:
+        stats = self.database_server.stats
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            stats.client_disconnects += 1
+            self._drop(conn, None)
+            return
+        if not data:
+            if not conn.closing:
+                stats.client_disconnects += 1
+            self._drop(conn, None)
+            return
+        conn.last_activity = time.monotonic()
+        conn.recv_buffer += data
+        self._pump_frames(conn)
+
+    def _pump_frames(self, conn: _AsyncConnection) -> None:
+        """Split buffered bytes into frames and route each one."""
+        server = self.database_server
+        while not conn.dead:
+            try:
+                payload = extract_frame(conn.recv_buffer)
+            except WireFormatError as exc:
+                # frame-level garbage: the stream is desynchronised — tell
+                # the client why (best effort) and hang up, like the
+                # threaded front end
+                server.stats.wire_errors += 1
+                conn.recv_buffer.clear()
+                conn.closing = True  # hang up once the error frame flushes
+                self._enqueue_frames(
+                    conn, (encode_message(server._error_response(exc)),))
+                return
+            if payload is None:
+                return
+            try:
+                message: dict[str, Any] | None = decode_message(payload)
+            except WireFormatError:
+                message = None  # handle_frame_stream answers it structurally
+            if conn.busy:
+                if len(conn.pending) >= self.MAX_PIPELINED_FRAMES:
+                    server.stats.wire_errors += 1
+                    self._drop(conn, None)
+                    return
+                conn.pending.append((payload, message))
+                continue
+            self._dispatch_frame(conn, payload, message)
+
+    def _dispatch_frame(self, conn: _AsyncConnection, payload: bytes,
+                        message: dict[str, Any] | None) -> None:
+        """Route one frame: queries go to the worker pool, everything else
+        (hello/login/cancel/stats/close/garbage) is answered inline —
+        cheap, non-blocking work."""
+        server = self.database_server
+        message_type = message.get("type") if message is not None else None
+        if message_type in (MSG_QUERY, MSG_EXECUTE_PREPARED):
+            with self._inflight_lock:
+                saturated = self._inflight >= self._max_inflight
+                if not saturated:
+                    self._inflight += 1
+            if saturated:
+                # the worker pool (slots + queue) is full: reject here so
+                # a flood of queries cannot queue unboundedly behind it
+                server.stats.queries_rejected += 1
+                error = ServerBusyError(
+                    "server is saturated; retry with backoff",
+                    code=ERR_SATURATED)
+                self._enqueue_frames(
+                    conn, (encode_message(server._error_response(error)),))
+                return
+            conn.busy = True
+            self._pool.submit(self._run_query, conn, payload, message)
+            return
+        frames = list(server.handle_frame_stream(conn.session, payload,
+                                                 message=message))
+        if message_type == MSG_CLOSE:
+            conn.closing = True  # hang up once the closed frame flushes
+        self._enqueue_frames(conn, frames)
+
+    def _on_writable(self, conn: _AsyncConnection) -> None:
+        stats = self.database_server.stats
+        with conn.send_lock:
+            while conn.send_chunks:
+                chunk = conn.send_chunks[0]
+                try:
+                    sent = conn.sock.send(chunk)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    stats.client_disconnects += 1
+                    self._drop(conn, None)
+                    return
+                conn.send_bytes -= sent
+                if sent < len(chunk):
+                    conn.send_chunks[0] = chunk[sent:]
+                    break
+                conn.send_chunks.popleft()
+            if conn.send_bytes <= self.LOW_WATER:
+                conn.drained.set()
+            pending = bool(conn.send_chunks)
+        if not pending:
+            self._set_write_interest(conn, False)
+            if conn.closing and not conn.busy:
+                self._drop(conn, None)
+
+    def _set_write_interest(self, conn: _AsyncConnection,
+                            want: bool) -> None:
+        if conn.dead or conn.want_write == want:
+            return
+        conn.want_write = want
+        events = selectors.EVENT_READ
+        if want:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, ("conn", conn))
+        except (KeyError, ValueError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _run_query(self, conn: _AsyncConnection, payload: bytes,
+                   message: dict[str, Any] | None) -> None:
+        """Worker-thread body: execute one query frame, streaming response
+        frames into the connection's send buffer with backpressure."""
+        server = self.database_server
+        stream = server.handle_frame_stream(conn.session, payload,
+                                            message=message)
+        try:
+            for frame in stream:
+                if not self._enqueue_with_backpressure(conn, frame):
+                    break
+        finally:
+            # closing the generator runs the server's _release_after
+            # finally-block, freeing the admission slot even when the
+            # stream was abandoned mid-flight
+            stream.close()
+            with self._inflight_lock:
+                self._inflight -= 1
+            self._call_soon(lambda: self._query_finished(conn))
+
+    def _query_finished(self, conn: _AsyncConnection) -> None:
+        """Loop-thread callback: the connection may take its next frame."""
+        conn.busy = False
+        conn.last_activity = time.monotonic()
+        if conn.dead:
+            return
+        if conn.pending:
+            payload, message = conn.pending.popleft()
+            self._dispatch_frame(conn, payload, message)
+            if not conn.busy:
+                # the frame was handled inline; keep draining the backlog
+                while conn.pending and not conn.busy and not conn.dead:
+                    payload, message = conn.pending.popleft()
+                    self._dispatch_frame(conn, payload, message)
+        elif conn.closing:
+            with conn.send_lock:
+                pending = bool(conn.send_chunks)
+            if not pending:
+                self._drop(conn, None)
+
+    def _enqueue_frames(self, conn: _AsyncConnection,
+                        frames: Iterable[bytes]) -> None:
+        """Loop-thread enqueue (no backpressure wait — control messages are
+        small); schedules a flush."""
+        if conn.dead:
+            return
+        with conn.send_lock:
+            for frame in frames:
+                conn.send_chunks.append(memoryview(frame))
+                conn.send_bytes += len(frame)
+        self._on_writable(conn)
+        with conn.send_lock:
+            pending = bool(conn.send_chunks)
+        if pending:
+            self._set_write_interest(conn, True)
+
+    def _enqueue_with_backpressure(self, conn: _AsyncConnection,
+                                   frame: bytes) -> bool:
+        """Worker-thread enqueue.  Returns ``False`` when the connection is
+        gone or the client stalled past ``send_timeout`` (the caller must
+        abandon the stream; the stalled connection is dropped and its query
+        cancelled)."""
+        if conn.dead:
+            return False
+        with conn.send_lock:
+            conn.send_chunks.append(memoryview(frame))
+            conn.send_bytes += len(frame)
+            above_high_water = conn.send_bytes > self.HIGH_WATER
+        self._call_soon(lambda: self._flush_from_loop(conn))
+        if not above_high_water:
+            return not conn.dead
+        timeout = self.database_server.limits.send_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not conn.dead:
+            conn.drained.clear()
+            with conn.send_lock:
+                if conn.send_bytes <= self.HIGH_WATER:
+                    conn.drained.set()
+                    return True
+            remaining = (None if deadline is None
+                         else deadline - time.monotonic())
+            if remaining is not None and remaining <= 0:
+                self._stall_disconnect(conn)
+                return False
+            conn.drained.wait(remaining)
+        return False
+
+    def _flush_from_loop(self, conn: _AsyncConnection) -> None:
+        if conn.dead:
+            return
+        self._on_writable(conn)
+        with conn.send_lock:
+            pending = bool(conn.send_chunks)
+        if pending:
+            self._set_write_interest(conn, True)
+
+    def _stall_disconnect(self, conn: _AsyncConnection) -> None:
+        """A client stopped reading mid-stream past ``send_timeout``: cancel
+        its query and drop the connection so the slot frees immediately."""
+        self.database_server.stats.stalled_disconnects += 1
+        self._call_soon(lambda: self._drop(conn, "stalled"))
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+    def _drop(self, conn: _AsyncConnection,
+              reason: str | None) -> None:
+        """Loop-thread teardown of one connection (idempotent).
+
+        Releases everything the connection holds: the selector slot, the
+        socket, the session (which cancels its active query), and any worker
+        blocked on backpressure."""
+        if conn.dead:
+            return
+        conn.dead = True
+        conn.drained.set()  # release a worker blocked on backpressure
+        self._connections.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        # cancels the active query (if any) and frees the session slot
+        self.database_server.close_session(conn.session)
+
+
 class SocketTransport:
     """Client-side transport over a TCP socket."""
 
@@ -883,6 +1449,24 @@ def main(argv: list[str] | None = None) -> int:
                         dest="verify_on_start",
                         help="scrub every image/WAL checksum before serving; "
                              "refuse to start on corruption (needs --db)")
+    parser.add_argument("--plan-cache", type=int, default=128,
+                        dest="plan_cache", metavar="ENTRIES",
+                        help="LRU capacity of the parsed-plan cache keyed by "
+                             "normalized SQL (0 disables; default: 128)")
+    parser.add_argument("--result-cache-bytes", type=int, default=8 << 20,
+                        dest="result_cache_bytes", metavar="BYTES",
+                        help="byte budget for caching results of identical "
+                             "read-only SELECTs, invalidated on writes "
+                             "(0 disables; default: 8 MiB)")
+    frontend = parser.add_mutually_exclusive_group()
+    frontend.add_argument("--async", action="store_const", dest="frontend",
+                          const="async",
+                          help="async front end: one selector event loop "
+                               "multiplexes all connections (default)")
+    frontend.add_argument("--threaded", action="store_const", dest="frontend",
+                          const="threaded",
+                          help="classic thread-per-connection front end")
+    parser.set_defaults(frontend="async")
     args = parser.parse_args(argv)
 
     limits = ServerLimits(max_concurrent_queries=args.max_concurrent,
@@ -892,7 +1476,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.verify_on_start and not args.db:
         parser.error("--verify-on-start requires --db")
     try:
-        database = Database(name=args.name, path=args.db, workers=args.workers)
+        database = Database(name=args.name, path=args.db, workers=args.workers,
+                            plan_cache=args.plan_cache,
+                            result_cache_bytes=args.result_cache_bytes)
     except PersistenceError as exc:
         # a corrupt image fails the open itself; with --verify-on-start the
         # operator asked for a clean verdict, not a traceback
@@ -921,12 +1507,15 @@ def main(argv: list[str] | None = None) -> int:
     database_server = DatabaseServer(
         database, default_user=args.user, default_password=args.password,
         result_chunk_rows=args.chunk_rows, limits=limits)
-    socket_server = SocketServer(database_server, host=args.host,
-                                 port=args.port)
+    server_cls = (AsyncSocketServer if args.frontend == "async"
+                  else SocketServer)
+    socket_server = server_cls(database_server, host=args.host,
+                               port=args.port)
     host, port = socket_server.start_background()
     mode = f"durable ({args.db})" if args.db else "in-memory"
     print(f"server listening on {host}:{port} "
-          f"(user={args.user} database={args.name}, {mode})")
+          f"(user={args.user} database={args.name}, {mode}, "
+          f"{args.frontend} front end)")
     print(json.dumps({"host": host, "port": port, "db": args.db}, indent=2))
     try:
         socket_server._thread.join()  # noqa: SLF001 - foreground serve

@@ -251,6 +251,32 @@ def decode_frame(data: bytes) -> tuple[bytes, bytes]:
     return data[6:6 + length], data[6 + length:]
 
 
+def extract_frame(buffer: bytearray,
+                  max_length: int = MAX_FRAME_BYTES) -> bytes | None:
+    """Incrementally split one complete frame's payload off ``buffer``.
+
+    The workhorse of the async front end: the event loop appends whatever
+    ``recv`` produced and calls this until it returns ``None`` (no complete
+    frame buffered yet).  On success the consumed bytes are deleted from the
+    front of ``buffer``.  Raises :class:`~repro.errors.WireFormatError` as
+    soon as the buffered prefix can never become a valid frame (bad magic or
+    an oversized length), without waiting for the rest to arrive.
+    """
+    if buffer[:2] != MAGIC[:len(buffer)]:
+        raise WireFormatError("bad frame magic")
+    if len(buffer) < 6:
+        return None
+    (length,) = struct.unpack(">I", bytes(buffer[2:6]))
+    if length > max_length:
+        raise WireFormatError(
+            f"frame length {length} exceeds the {max_length}-byte limit")
+    if len(buffer) < 6 + length:
+        return None
+    payload = bytes(buffer[6:6 + length])
+    del buffer[:6 + length]
+    return payload
+
+
 def write_frame(stream: BinaryIO, payload: bytes) -> int:
     """Write one frame to a binary stream; returns bytes written."""
     frame = encode_frame(payload)

@@ -39,6 +39,17 @@ class Star(Expression):
 
 
 @dataclass
+class Parameter(Expression):
+    """A positional ``?`` placeholder inside a PREPAREd statement.
+
+    ``index`` is the zero-based position in the statement's parameter list;
+    EXECUTE substitutes the bound value for it before planning.
+    """
+
+    index: int
+
+
+@dataclass
 class UnaryOp(Expression):
     op: str
     operand: Expression
@@ -285,3 +296,35 @@ class BackupTo(Statement):
 @dataclass
 class ShowStats(Statement):
     """``SHOW STATS`` — engine, durability, and server fault counters."""
+
+
+@dataclass
+class Prepare(Statement):
+    """``PREPARE name AS <statement>`` — register a parameterised template.
+
+    ``sql`` holds the raw inner statement text (for cache keying and client
+    display); ``statement`` is its parsed form with :class:`Parameter`
+    placeholders left unbound.
+    """
+
+    name: str
+    sql: str
+    statement: Statement
+
+
+@dataclass
+class ExecutePrepared(Statement):
+    """``EXECUTE name (arg, ...)`` — run a prepared template with bound args."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Deallocate(Statement):
+    """``DEALLOCATE name`` / ``DEALLOCATE ALL`` — drop prepared statements.
+
+    ``name is None`` means ALL.
+    """
+
+    name: str | None

@@ -16,6 +16,15 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import ExecutionError
 from . import ast_nodes as ast
+from .cache import (
+    CachedPlan,
+    PlanCache,
+    PreparedStatement,
+    ResultCache,
+    bind_parameters,
+    normalize_sql,
+    profile_statement,
+)
 from .catalog import FunctionCatalog
 from .context import QueryContext
 from .executor import Executor
@@ -67,9 +76,23 @@ class Database:
                  path: str | os.PathLike[str] | None = None,
                  segment_rows: int | None = None,
                  wal_fsync_batch: int | None = None,
-                 salvage: bool = False) -> None:
+                 salvage: bool = False,
+                 plan_cache: int = 128,
+                 result_cache_bytes: int = 0) -> None:
         self.name = name
         self.storage = Storage()
+        #: LRU of parsed SELECT statements keyed by normalized SQL text —
+        #: hot statements skip lexing/parsing.  ``plan_cache=0`` disables.
+        self.plan_cache: PlanCache | None = \
+            PlanCache(plan_cache) if plan_cache > 0 else None
+        #: Byte-bounded LRU of materialised read-only SELECT results.
+        #: Off by default: the embedded engine is frequently benchmarked by
+        #: re-running identical SQL, and tests mutate storage directly
+        #: (bypassing invalidation).  The wire server turns it on.
+        self.result_cache: ResultCache | None = \
+            ResultCache(result_cache_bytes) if result_cache_bytes > 0 else None
+        #: PREPARE name AS ... templates, shared by every connection.
+        self._prepared: dict[str, PreparedStatement] = {}
         self.catalog = FunctionCatalog()
         self.udf_runtime = UDFRuntime(self)
         self.scheduler = MorselScheduler(
@@ -107,6 +130,9 @@ class Database:
                 fsync_batch=wal_fsync_batch or DEFAULT_FSYNC_BATCH,
                 salvage=salvage)
             self.persistence.open()
+            # recovery/salvage may have replayed mutations; start cold so a
+            # cached plan or result can never outlive what was recovered
+            self.invalidate_caches()
 
     @property
     def workers(self) -> int:
@@ -137,8 +163,15 @@ class Database:
         with self._lock:
             self.statements_executed += 1
             self.query_log.append(sql)
-            statement = parse_statement(sql)
-            return self._executor.execute(statement, context=context)
+            statement, cacheable = self._parse_cached(sql)
+            if cacheable is not None:
+                cached = self._result_cache_get(cacheable)
+                if cached is not None:
+                    return cached
+            result = self._executor.execute(statement, context=context)
+            if cacheable is not None:
+                self._result_cache_put(cacheable, result)
+            return result
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script; returns one result per statement."""
@@ -173,14 +206,190 @@ class Database:
         with self._lock:
             self.statements_executed += 1
             self.query_log.append(sql)
-            statement = parse_statement(sql)
+            statement, cacheable = self._parse_cached(sql)
             if not isinstance(statement, ast.Select):
                 return self._executor.execute(statement, context=context)
+            if cacheable is not None:
+                cached = self._result_cache_get(cacheable)
+                if cached is not None:
+                    return cached
             plan = self._executor.plan_select(statement, context=context)
             if not plan.streamable:
-                return plan.execute()
+                result = plan.execute()
+                if cacheable is not None:
+                    self._result_cache_put(cacheable, result)
+                return result
             plan.prepare()
         return StreamedResult(plan, max_rows=max_rows)
+
+    # ------------------------------------------------------------------ #
+    # plan / result caches and prepared statements
+    # ------------------------------------------------------------------ #
+    def _parse_cached(self, sql: str) -> tuple[
+            ast.Statement, "tuple[str, CachedPlan] | None"]:
+        """Parse one statement through the plan cache.
+
+        Returns the statement plus ``(key, entry)`` when it is a SELECT
+        (the shape the result cache keys on); other statement types are
+        never cached.  Raises when the statement still contains unbound
+        ``?`` placeholders — those must go through PREPARE/EXECUTE.
+        """
+        key = normalize_sql(sql)
+        if self.plan_cache is not None:
+            entry = self.plan_cache.get(key)
+            if entry is not None:
+                self._reject_unbound(entry.profile)
+                return entry.statement, (key, entry)
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            return statement, None
+        entry = CachedPlan(statement, profile_statement(statement))
+        self._reject_unbound(entry.profile)
+        if self.plan_cache is not None:
+            self.plan_cache.put(key, entry)
+        return statement, (key, entry)
+
+    @staticmethod
+    def _reject_unbound(profile: Any) -> None:
+        if profile.parameter_count:
+            raise ExecutionError(
+                "statement contains unbound '?' placeholders; use "
+                "PREPARE name AS ... and EXECUTE name (args)")
+
+    def _result_cache_get(self, cacheable: tuple[str, CachedPlan]
+                          ) -> QueryResult | None:
+        if self.result_cache is None:
+            return None
+        key, entry = cacheable
+        if not entry.profile.deterministic():
+            return None
+        return self.result_cache.get(key)
+
+    def _result_cache_put(self, cacheable: tuple[str, CachedPlan],
+                          result: QueryResult) -> None:
+        if self.result_cache is None:
+            return
+        key, entry = cacheable
+        if not entry.profile.deterministic():
+            return
+        self.result_cache.put(key, result, entry.profile.tables)
+
+    def note_mutation(self, statement: ast.Statement) -> None:
+        """Invalidate cache entries made stale by an executed statement.
+
+        Called by the executor after every successful mutating statement;
+        UDF (re)definition clears both caches entirely (a UDF body change
+        alters what any query calling it returns).
+        """
+        if isinstance(statement, (ast.InsertValues, ast.InsertSelect,
+                                  ast.Delete, ast.Update, ast.CopyInto)):
+            self.invalidate_table(statement.table)
+        elif isinstance(statement, (ast.CreateTable, ast.DropTable)):
+            self.invalidate_table(statement.name)
+        elif isinstance(statement, (ast.CreateFunction, ast.DropFunction)):
+            self.invalidate_caches()
+
+    def invalidate_table(self, table: str) -> None:
+        """Drop every cached plan/result that reads ``table``."""
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_table(table)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_table(table)
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached plan and result (UDF changes, recovery)."""
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
+        if self.result_cache is not None:
+            self.result_cache.clear()
+
+    def configure_result_cache(self, max_bytes: int) -> None:
+        """(Re)size the result cache; ``0`` disables it."""
+        with self._lock:
+            self.result_cache = \
+                ResultCache(max_bytes) if max_bytes > 0 else None
+
+    def cache_counters(self) -> dict[str, int]:
+        """Flat cache counters merged into the server's stats section."""
+        plan, result = self.plan_cache, self.result_cache
+        return {
+            "plan_cache_entries": len(plan) if plan else 0,
+            "plan_cache_hits": plan.hits if plan else 0,
+            "plan_cache_misses": plan.misses if plan else 0,
+            "plan_cache_evictions": plan.evictions if plan else 0,
+            "result_cache_entries": len(result) if result else 0,
+            "result_cache_bytes": result.used_bytes if result else 0,
+            "result_cache_hits": result.hits if result else 0,
+            "result_cache_misses": result.misses if result else 0,
+            "result_cache_invalidations":
+                result.invalidations if result else 0,
+            "result_cache_evictions": result.evictions if result else 0,
+        }
+
+    # -- PREPARE / EXECUTE / DEALLOCATE -------------------------------- #
+    def register_prepared(self, statement: ast.Prepare) -> PreparedStatement:
+        """Register (or replace) a named statement template."""
+        profile = profile_statement(statement.statement)
+        prepared = PreparedStatement(
+            name=statement.name,
+            sql=statement.sql,
+            key=normalize_sql(statement.sql),
+            statement=statement.statement,
+            profile=profile,
+        )
+        with self._lock:
+            self._prepared[statement.name.lower()] = prepared
+        return prepared
+
+    def prepare(self, name: str, sql: str) -> PreparedStatement:
+        """``PREPARE name AS sql`` as a Python API (used by the wire server)."""
+        self.execute(f"PREPARE {name} AS {sql}")
+        with self._lock:
+            return self._prepared[name.lower()]
+
+    def resolve_prepared(self, name: str) -> PreparedStatement:
+        prepared = self._prepared.get(name.lower())
+        if prepared is None:
+            raise ExecutionError(f"no prepared statement named {name!r}")
+        return prepared
+
+    def deallocate(self, name: str | None) -> bool:
+        """Drop one prepared statement (or all with ``name=None``)."""
+        with self._lock:
+            if name is None:
+                self._prepared.clear()
+                return True
+            return self._prepared.pop(name.lower(), None) is not None
+
+    def prepared_names(self) -> list[str]:
+        return sorted(self._prepared)
+
+    def execute_prepared(self, name: str, arguments: list[Any], *,
+                         timeout: float | None = None,
+                         context: QueryContext | None = None) -> QueryResult:
+        """Execute a prepared template with already-Python-typed arguments.
+
+        This is the wire server's entry point for ``execute_prepared``
+        messages: values arrive decoded from the wire, so they are wrapped
+        as literals rather than re-parsed.
+        """
+        context = QueryContext.resolve(context, timeout)
+        statement = ast.ExecutePrepared(
+            name, [ast.Literal(value) for value in arguments])
+        with self._lock:
+            self.statements_executed += 1
+            self.query_log.append(f"EXECUTE {name}")
+            return self._executor.execute(statement, context=context)
+
+    def bind_prepared(self, prepared: PreparedStatement,
+                      values: list[Any]) -> ast.Statement:
+        """Bind argument values into a fresh copy of the template AST."""
+        if len(values) != prepared.parameter_count:
+            raise ExecutionError(
+                f"prepared statement {prepared.name!r} expects "
+                f"{prepared.parameter_count} argument(s), got {len(values)}")
+        return bind_parameters(prepared.statement, values,
+                               bearing=prepared.bearing_ids())
 
     def checkpoint(self) -> "CheckpointStats":
         """Write a fresh database image and truncate the write-ahead log.
@@ -278,6 +487,8 @@ class Database:
                           "signature": signature_to_record(signature)})
         self.catalog.register(signature, replace=replace)
         self.udf_runtime.invalidate(signature.name)
+        # a (re)defined UDF changes what any query calling it returns
+        self.invalidate_caches()
 
     def wal_log(self, record: dict[str, Any]) -> None:
         """Append one logical mutation record to the WAL (no-op in memory)."""

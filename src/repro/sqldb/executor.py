@@ -62,6 +62,14 @@ class Executor:
             # DML/DDL run whole-statement: one checkpoint up front so an
             # already-cancelled or expired statement never starts mutating
             context.check()
+        result = self._dispatch(statement, context=context)
+        # a successful mutation makes cached plans/results for the touched
+        # tables stale; reads are a cheap no-op here
+        self.database.note_mutation(statement)
+        return result
+
+    def _dispatch(self, statement: ast.Statement, *,
+                  context: "QueryContext | None" = None) -> QueryResult:
         if isinstance(statement, ast.Select):
             return self.execute_select(statement, context=context)
         if isinstance(statement, ast.Explain):
@@ -102,7 +110,44 @@ class Executor:
             return self._execute_backup(statement)
         if isinstance(statement, ast.ShowStats):
             return self._execute_show_stats()
+        if isinstance(statement, ast.Prepare):
+            self.database.register_prepared(statement)
+            return QueryResult.empty(statement_type="PREPARE")
+        if isinstance(statement, ast.ExecutePrepared):
+            return self._execute_prepared(statement, context=context)
+        if isinstance(statement, ast.Deallocate):
+            found = self.database.deallocate(statement.name)
+            if not found:
+                raise ExecutionError(
+                    f"no prepared statement named {statement.name!r}")
+            return QueryResult.empty(statement_type="DEALLOCATE")
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_prepared(self, statement: ast.ExecutePrepared, *,
+                          context: "QueryContext | None" = None) -> QueryResult:
+        """Bind EXECUTE arguments into the template and run it.
+
+        A deterministic SELECT template consults the result cache keyed by
+        (template text, bound values), so a hot EXECUTE skips planning *and*
+        execution entirely.
+        """
+        prepared = self.database.resolve_prepared(statement.name)
+        evaluator = ExpressionEvaluator(self.database, Batch.empty())
+        values = [evaluator.evaluate(expr).values[0]
+                  for expr in statement.args]
+        bound = self.database.bind_prepared(prepared, values)
+        cache = self.database.result_cache
+        cache_key: str | None = None
+        if cache is not None and isinstance(bound, ast.Select) \
+                and prepared.profile.deterministic():
+            cache_key = prepared.result_key(values)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
+        result = self.execute(bound, context=context)
+        if cache_key is not None:
+            cache.put(cache_key, result, prepared.profile.tables)
+        return result
 
     # ------------------------------------------------------------------ #
     # write-ahead logging (persistent databases only)

@@ -397,6 +397,11 @@ class ExpressionEvaluator:
     def _eval_Star(self, node: ast.Star) -> EvalResult:
         raise ExecutionError("'*' is only valid inside COUNT(*) or a select list")
 
+    def _eval_Parameter(self, node: ast.Parameter) -> EvalResult:
+        raise ExecutionError(
+            "unbound '?' placeholder; use PREPARE name AS ... and "
+            "EXECUTE name (args)")
+
     # ------------------------------------------------------------------ #
     # operators
     # ------------------------------------------------------------------ #

@@ -35,11 +35,13 @@ KEYWORDS = {
     "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "TRUE", "FALSE", "COPY", "DELIMITERS",
     "HEADER", "UNION", "ALL", "NOT", "EXPLAIN", "CHECKPOINT",
     "VERIFY", "BACKUP", "TO", "SHOW", "STATS",
+    "PREPARE", "EXECUTE", "DEALLOCATE",
 }
 
 _MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
 _SINGLE_CHAR_OPERATORS = set("+-*/%<>=")
-_PUNCTUATION = set("(),.;{}")
+# ``?`` is the positional parameter placeholder of PREPARE/EXECUTE.
+_PUNCTUATION = set("(),.;{}?")
 
 
 @dataclass(frozen=True)

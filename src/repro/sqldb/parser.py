@@ -52,6 +52,9 @@ class Parser:
         self.text = text
         self.lexer = Lexer(text)
         self._buffer: list[Token] = []
+        #: Number of ``?`` placeholders seen in the current statement; each
+        #: occurrence becomes a :class:`ast.Parameter` with the next ordinal.
+        self._parameters = 0
 
     # ------------------------------------------------------------------ #
     # token stream helpers
@@ -135,7 +138,14 @@ class Parser:
         return statements
 
     def _parse_statement_inner(self) -> ast.Statement:
+        self._parameters = 0
         token = self.peek()
+        if token.is_keyword("PREPARE"):
+            return self._parse_prepare()
+        if token.is_keyword("EXECUTE"):
+            return self._parse_execute()
+        if token.is_keyword("DEALLOCATE"):
+            return self._parse_deallocate()
         if token.is_keyword("EXPLAIN"):
             self.advance()
             return ast.Explain(self.parse_select())
@@ -167,6 +177,39 @@ class Parser:
             return ast.ShowStats()
         raise ParseError(f"unsupported statement starting with {token.value!r}",
                          token.position)
+
+    def _parse_prepare(self) -> ast.Prepare:
+        self.expect_keyword("PREPARE")
+        name_token = self.peek()
+        name = self.expect_identifier()
+        self.expect_keyword("AS")
+        start = self.peek().position
+        statement = self._parse_statement_inner()
+        if isinstance(statement, (ast.Prepare, ast.ExecutePrepared, ast.Deallocate)):
+            raise ParseError(
+                f"cannot PREPARE a {type(statement).__name__} statement",
+                name_token.position)
+        # The inner statement's raw text: everything up to the terminating
+        # semicolon / EOF (token positions index into self.text).
+        sql = self.text[start:self.peek().position].strip()
+        return ast.Prepare(name=name, sql=sql, statement=statement)
+
+    def _parse_execute(self) -> ast.ExecutePrepared:
+        self.expect_keyword("EXECUTE")
+        name = self.expect_identifier()
+        args: list[ast.Expression] = []
+        if self.check_punct("("):
+            self.advance()
+            if not self.accept_punct(")"):
+                args = self._parse_expression_list()
+                self.expect_punct(")")
+        return ast.ExecutePrepared(name, args)
+
+    def _parse_deallocate(self) -> ast.Deallocate:
+        self.expect_keyword("DEALLOCATE")
+        if self.accept_keyword("ALL"):
+            return ast.Deallocate(None)
+        return ast.Deallocate(self.expect_identifier())
 
     def _parse_backup(self) -> ast.BackupTo:
         self.expect_keyword("BACKUP")
@@ -429,6 +472,11 @@ class Parser:
     def _parse_primary(self) -> ast.Expression:
         token = self.peek()
 
+        if self.check_punct("?"):
+            self.advance()
+            parameter = ast.Parameter(self._parameters)
+            self._parameters += 1
+            return parameter
         if token.type is TokenType.NUMBER:
             self.advance()
             value: Any = float(token.value) if any(c in token.value for c in ".eE") else int(token.value)

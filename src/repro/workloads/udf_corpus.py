@@ -366,7 +366,10 @@ def demo_server(csv_directory: str, *, buggy_mean_deviation: bool = True,
     while a launch that crashed mid-setup wipes the partial demo objects
     and redoes the whole setup.
     """
-    database = Database(name="demo", path=db_path)
+    # serving defaults (same as the standalone server CLI): plan cache on,
+    # 8 MiB result cache — the demo is a read-heavy repeated-query workload
+    database = Database(name="demo", path=db_path,
+                        result_cache_bytes=8 << 20)
     if db_path is not None and _demo_setup_complete(database):
         workload = generate_csv_directory(csv_directory, n_files=n_files,
                                           rows_per_file=rows_per_file,

@@ -26,6 +26,7 @@ from repro.errors import (
 from repro.netproto.chaos import ChaosProxy, FaultSpec, FaultyTransport
 from repro.netproto.client import Connection, ConnectionInfo
 from repro.netproto.server import (
+    AsyncSocketServer,
     DatabaseServer,
     InProcessTransport,
     ServerLimits,
@@ -48,15 +49,22 @@ def wait_until(predicate, timeout: float = 5.0, interval: float = 0.02) -> bool:
     return predicate()
 
 
-@pytest.fixture()
-def chaos_server():
-    """A TCP server over a big table, with small result chunks."""
+FRONT_ENDS = {"threaded": SocketServer, "async": AsyncSocketServer}
+
+
+@pytest.fixture(params=sorted(FRONT_ENDS))
+def chaos_server(request):
+    """A TCP server over a big table, with small result chunks.
+
+    Parametrized over both front ends: every chaos scenario must hold for
+    the thread-per-connection server and the async event loop alike.
+    """
     database = Database(workers=2)
     database.execute("CREATE TABLE big (i INTEGER)")
     column = database.storage.table("big").columns[0]
     column.values.extend(range(ROWS))
     server = DatabaseServer(database, result_chunk_rows=CHUNK_ROWS)
-    socket_server = SocketServer(server, host="127.0.0.1", port=0)
+    socket_server = FRONT_ENDS[request.param](server, host="127.0.0.1", port=0)
     host, port = socket_server.start_background()
     yield server, host, port
     socket_server.stop()

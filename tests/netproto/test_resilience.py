@@ -573,3 +573,66 @@ class TestSessionLifecycle:
         server.close_session(connection._transport.session)
         assert server.admission.active == 0
         assert server.active_sessions == 0
+
+
+# --------------------------------------------------------------------------- #
+# stalled readers: eager slot release vs. backpressure
+# --------------------------------------------------------------------------- #
+class TestStalledReader:
+    def test_stalled_reader_cannot_pin_execution_slot(self):
+        """A client that stops reading mid-stream must be disconnected after
+        ``send_timeout`` and its execution slot freed — backpressure pauses
+        the query, but never past the admission controller's patience."""
+        from repro.netproto.chaos import ChaosProxy, FaultSpec
+        from repro.netproto.server import AsyncSocketServer
+
+        database = make_big_database(rows=600_000)
+        limits = ServerLimits(max_concurrent_queries=1, max_queue_depth=0,
+                              send_timeout=0.5)
+        server = DatabaseServer(database, result_chunk_rows=8_192,
+                                limits=limits)
+        front = AsyncSocketServer(server, host="127.0.0.1", port=0)
+        # lower the watermarks so backpressure engages without multi-MB
+        # results (kernel socket buffers still absorb a few hundred KB)
+        front.HIGH_WATER = 128 * 1024
+        front.LOW_WATER = 32 * 1024
+        host, port = front.start_background()
+        try:
+            # the proxy relays the handshake, then stops reading from the
+            # server: from the server's view the client went quiet mid-stream
+            with ChaosProxy((host, port),
+                            FaultSpec(stall_after_bytes=2_000)) as proxy:
+                failure = []
+
+                def stalled_client():
+                    connection = Connection.connect_tcp(
+                        ConnectionInfo(host=proxy.address[0],
+                                       port=proxy.address[1]))
+                    connection.retry_policy = None
+                    try:
+                        connection.execute("SELECT i FROM big WHERE i >= 0")
+                    except Exception as exc:  # noqa: BLE001
+                        failure.append(exc)
+
+                thread = threading.Thread(target=stalled_client, daemon=True)
+                thread.start()
+
+                deadline = time.monotonic() + 15
+                while time.monotonic() < deadline:
+                    if server.stats.stalled_disconnects >= 1:
+                        break
+                    time.sleep(0.05)
+                assert server.stats.stalled_disconnects >= 1
+                # the slot must be free well before any admission timeout:
+                # a direct (well-behaved) client runs immediately
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline and server.admission.active:
+                    time.sleep(0.05)
+                assert server.admission.active == 0
+                survivor = Connection.connect_tcp(
+                    ConnectionInfo(host=host, port=port))
+                assert survivor.execute(
+                    "SELECT COUNT(*) FROM big WHERE i < 10").scalar() == 10
+                survivor.close()
+        finally:
+            front.stop()
