@@ -51,6 +51,12 @@ GROUP_COUNT = 500
 JOIN_SIDE_ROWS = 2_000
 STRING_CARDINALITY = 500
 
+#: Observability must stay nearly free: the instrumented engine may cost at
+#: most this factor over ``observability=False`` on the acceptance workload.
+#: ``--quick`` runs enforce the gate (the benchmark exits non-zero beyond it),
+#: with headroom over the ~3% design target so CI noise does not flake.
+OBS_OVERHEAD_BUDGET = 1.15
+
 #: Milliseconds measured for the same workloads on the seed engine (v0),
 #: kept here so the report can state the speedup without re-running the
 #: (extremely slow) nested-loop join.
@@ -173,6 +179,7 @@ def run_sqldb(*, quick: bool = False) -> dict:
            JOIN_SIDE_ROWS)
 
     results.update(run_parallel(quick=quick))
+    results.update(run_obs_overhead(quick=quick))
 
     return {
         "suite": "sqldb-vectorized-engine",
@@ -248,6 +255,51 @@ def run_parallel(*, quick: bool = False) -> dict:
             results[f"parallel_{name}_{rows}_w{workers}"] = entry
         database.close()
     return results
+
+
+# --------------------------------------------------------------------------- #
+# observability overhead
+# --------------------------------------------------------------------------- #
+def run_obs_overhead(*, quick: bool = False) -> dict:
+    """Cost of default-on metrics: instrumented vs ``observability=False``.
+
+    The acceptance workload is the scan-filter-aggregate pipeline; both
+    engines run the identical query over the identical column data, so the
+    delta is exactly the per-query histogram observations plus the per-morsel
+    counter bumps.  The ratio is reported honestly (it hovers around 1.0 and
+    can dip below on a noisy machine); ``--quick`` turns the budget into a CI
+    gate via the process exit code.
+    """
+    rows = 100_000 if quick else 1_000_000
+    repeat = 5 if quick else 7
+    rng = random.Random(17)
+    keys = [i % GROUP_COUNT for i in range(rows)]
+    values = [rng.random() for _ in range(rows)]
+    sql = "SELECT k, COUNT(*), SUM(v) FROM big WHERE v > 0.5 GROUP BY k"
+
+    def measure(observability: bool) -> float:
+        database = Database(workers=1, observability=observability)
+        database.execute("CREATE TABLE big (k INTEGER, v DOUBLE)")
+        table = database.storage.table("big")
+        table.column("k").extend(keys)
+        table.column("v").extend(values)
+        seconds = median_seconds(lambda: database.execute(sql), repeat=repeat)
+        database.close()
+        return seconds
+
+    bare_s = measure(False)
+    instrumented_s = measure(True)
+    ratio = instrumented_s / max(bare_s, 1e-9)
+    return {"obs_overhead": {
+        "sql": sql,
+        "input_rows": rows,
+        "bare_seconds": round(bare_s, 6),
+        "instrumented_seconds": round(instrumented_s, 6),
+        "overhead_ratio": round(ratio, 4),
+        "overhead_percent": round((ratio - 1.0) * 100, 2),
+        "budget_ratio": OBS_OVERHEAD_BUDGET,
+        "within_budget": ratio <= OBS_OVERHEAD_BUDGET,
+    }}
 
 
 # --------------------------------------------------------------------------- #
@@ -586,6 +638,10 @@ def run_concurrency(*, quick: bool = False) -> dict:
             "execution_slots": limits.max_concurrent_queries,
             "plan_cache": True,
             "result_cache": True,
+            # default-on observability: every query lands in the server's
+            # latency histogram and is trace-tracked for the slow-query ring
+            "stats_histograms": True,
+            "slow_query_tracking_ms": server.slow_query_ms,
         }
     counters = database.cache_counters()
     results["concurrency_cache_counters"] = {
@@ -874,6 +930,13 @@ def run_netproto(*, quick: bool = False) -> dict:
 # --------------------------------------------------------------------------- #
 def _print_sqldb(report: dict) -> None:
     for name, entry in report["results"].items():
+        if name == "obs_overhead":
+            verdict = "ok" if entry["within_budget"] else "OVER BUDGET"
+            print(f"  {name:>16}: bare {entry['bare_seconds'] * 1000:.2f} ms "
+                  f"-> instrumented {entry['instrumented_seconds'] * 1000:.2f} "
+                  f"ms  ({entry['overhead_ratio']}x, budget "
+                  f"{entry['budget_ratio']}x: {verdict})")
+            continue
         speedup = entry.get("speedup_vs_seed")
         suffix = f"  ({speedup}x vs seed)" if speedup else ""
         print(f"  {name:>16}: {entry['seconds'] * 1000:8.2f} ms  "
@@ -953,6 +1016,7 @@ def main() -> None:
     args = parser.parse_args()
 
     names = list(SUITES) if args.suite == "all" else [args.suite]
+    exit_code = 0
     for name in names:
         runner, filename, printer = SUITES[name]
         report = runner(quick=args.quick)
@@ -961,6 +1025,15 @@ def main() -> None:
         output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {output}")
         printer(report)
+        # --quick doubles as the CI gate: observability must stay within
+        # its overhead budget or the run fails the build
+        obs = report.get("results", {}).get("obs_overhead")
+        if args.quick and obs is not None and not obs["within_budget"]:
+            print(f"FAIL: observability overhead {obs['overhead_ratio']}x "
+                  f"exceeds the {obs['budget_ratio']}x budget")
+            exit_code = 1
+    if exit_code:
+        raise SystemExit(exit_code)
 
 
 if __name__ == "__main__":

@@ -180,6 +180,9 @@ def cmd_demo_server(args: argparse.Namespace) -> int:
                                 with_classifier=args.with_classifier,
                                 with_extras=True,
                                 db_path=args.db)
+    if args.slow_query_ms is not None:
+        server.slow_query_ms = (args.slow_query_ms
+                                if args.slow_query_ms > 0 else None)
     server_cls = SocketServer if args.frontend == "threaded" \
         else AsyncSocketServer
     socket_server = server_cls(server, host=args.host, port=args.port)
@@ -272,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--with-classifier", action="store_true", dest="with_classifier")
     demo_parser.add_argument("--block", action="store_true",
                              help="keep serving until interrupted")
+    demo_parser.add_argument("--slow-query-ms", type=float, default=None,
+                             dest="slow_query_ms", metavar="MILLISECONDS",
+                             help="log queries slower than this to the "
+                                  "server's bounded slow-query ring "
+                                  "(0 disables; default: server's 500)")
     frontend = demo_parser.add_mutually_exclusive_group()
     frontend.add_argument("--async", action="store_const", dest="frontend",
                           const="async",

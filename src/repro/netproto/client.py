@@ -348,7 +348,10 @@ class Connection:
             encrypted=bool(stats_dict.get("encrypted", False)),
             total_rows=stats_dict.get("total_rows"),
         )
-        return ResultStream(self, result=result, transfer=transfer)
+        raw_trace = reply.get("trace_id")
+        return ResultStream(self, result=result, transfer=transfer,
+                            trace_id=str(raw_trace)
+                            if raw_trace is not None else None)
 
     # ------------------------------------------------------------------ #
     # prepared statements
@@ -455,6 +458,23 @@ class Connection:
         if not isinstance(stats, dict):
             raise ProtocolError("stats reply carries no stats mapping")
         return {str(name): int(value) for name, value in stats.items()}
+
+    def server_slow_queries(self) -> list[dict[str, Any]]:
+        """Fetch the server's bounded slow-query log (``stats`` message).
+
+        Each entry carries ``trace_id``, ``sql``, ``duration_ms``, ``rows``,
+        ``bytes`` and the per-phase ``spans`` breakdown recorded while the
+        statement ran.  Empty when no statement has exceeded the server's
+        ``slow_query_ms`` threshold (or tracking is disabled).
+        """
+        reply = self._exchange({"type": MSG_STATS})
+        if reply.get("type") == MSG_ERROR:
+            raise exception_for_error(reply)
+        if reply.get("type") != MSG_STATS_RESULT:
+            raise ProtocolError(
+                f"unexpected stats reply {reply.get('type')!r}")
+        entries = reply.get("slow_queries")
+        return list(entries) if isinstance(entries, list) else []
 
     def cursor(self) -> "Cursor":
         return Cursor(self)
@@ -617,8 +637,13 @@ class ResultStream:
                  header: dict[str, Any] | None = None,
                  assembler: ColumnarResultAssembler | None = None,
                  result: QueryResult | None = None,
-                 transfer: TransferStats | None = None) -> None:
+                 transfer: TransferStats | None = None,
+                 trace_id: str | None = None) -> None:
         self._connection = connection
+        #: Server-assigned trace id for this query (``None`` when the server
+        #: runs with tracing disabled).  Matches the ``trace_id`` of the
+        #: server's span tree and slow-query-log entry for the statement.
+        self.trace_id: str | None = trace_id
         self._assembler = assembler
         self._result: QueryResult | None = None
         self._all_rows: list[tuple] | None = None
@@ -641,6 +666,9 @@ class ResultStream:
             connection._record_transfer(result.row_count, self.transfer)
         else:
             assert header is not None and assembler is not None
+            raw_trace = header.get("trace_id")
+            if raw_trace is not None:
+                self.trace_id = str(raw_trace)
             self.columns_meta = [(str(meta["name"]), str(meta["type"]))
                                  for meta in header.get("columns", [])]
             self.statement_type = str(header.get("statement_type", "SELECT"))

@@ -301,7 +301,8 @@ def columnar_result_messages(result: QueryResult, *,
                              compression: str | None = None,
                              encryption_key: str | None = None,
                              stats_out: TransferStats | None = None,
-                             protocol_version: int = PROTOCOL_VERSION
+                             protocol_version: int = PROTOCOL_VERSION,
+                             trace_id: str | None = None
                              ) -> Iterator[dict[str, Any]]:
     """Yield the ``result`` header message followed by its chunk messages.
 
@@ -310,7 +311,9 @@ def columnar_result_messages(result: QueryResult, *,
     consumes chunk *i - 1*.  ``stats_out``, when given, accumulates the
     per-chunk byte counts server-side.  ``protocol_version`` is the
     *negotiated* version: dictionary-encoded string columns (``TAG_DICT``)
-    are only emitted for version-3 peers.
+    are only emitted for version-3 peers.  ``trace_id``, when given, rides
+    in the header so the client can correlate the result with the server's
+    trace spans and slow-query log.
     """
     codec = compression or compression_mod.CODEC_NONE
     chunk_rows = max(1, int(chunk_rows))
@@ -322,7 +325,7 @@ def columnar_result_messages(result: QueryResult, *,
         stats_out.compression_codec = codec
         stats_out.encrypted = encryption_key is not None
         stats_out.total_rows = total_rows
-    yield {
+    header = {
         "type": MSG_RESULT,
         "format": FORMAT_COLUMNAR,
         "protocol_version": min(protocol_version, PROTOCOL_VERSION),
@@ -335,6 +338,9 @@ def columnar_result_messages(result: QueryResult, *,
         "compression": codec,
         "encrypted": encryption_key is not None,
     }
+    if trace_id is not None:
+        header["trace_id"] = trace_id
+    yield header
     for seq, row_start in enumerate(range(0, max(total_rows, 0), chunk_rows)):
         row_stop = min(row_start + chunk_rows, total_rows)
         blob, raw_bytes = encoder.encode(row_start, row_stop)
@@ -367,7 +373,8 @@ def streamed_result_messages(pieces: Iterator[QueryResult], *,
                              compression: str | None = None,
                              encryption_key: str | None = None,
                              stats_out: TransferStats | None = None,
-                             protocol_version: int = PROTOCOL_VERSION
+                             protocol_version: int = PROTOCOL_VERSION,
+                             trace_id: str | None = None
                              ) -> Iterator[dict[str, Any]]:
     """Yield a *streamed* result: header with unknown counts, then one
     ``result_chunk`` per pipeline morsel, the final one flagged ``last``.
@@ -385,7 +392,7 @@ def streamed_result_messages(pieces: Iterator[QueryResult], *,
     if stats_out is not None:
         stats_out.compression_codec = codec
         stats_out.encrypted = encryption_key is not None
-    yield {
+    header = {
         "type": MSG_RESULT,
         "format": FORMAT_COLUMNAR,
         "protocol_version": min(protocol_version, PROTOCOL_VERSION),
@@ -399,6 +406,9 @@ def streamed_result_messages(pieces: Iterator[QueryResult], *,
         "compression": codec,
         "encrypted": encryption_key is not None,
     }
+    if trace_id is not None:
+        header["trace_id"] = trace_id
+    yield header
     shipped_dictionaries: dict[int, Any] = {}
     piece: QueryResult | None = first
     seq = 0

@@ -23,7 +23,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from ..errors import (
@@ -37,6 +37,7 @@ from ..errors import (
     ServerBusyError,
     WireFormatError,
 )
+from ..obs import MetricsRegistry, TraceSpan, new_trace_id
 from ..sqldb.context import QueryContext
 from ..sqldb.database import Database, StreamedResult
 from ..sqldb.result import QueryResult
@@ -63,6 +64,7 @@ from .messages import (
     MSG_PREPARED,
     MSG_QUERY,
     MSG_RESULT,
+    MSG_RESULT_CHUNK,
     MSG_STATS,
     MSG_STATS_RESULT,
     PROTOCOL_VERSION,
@@ -101,38 +103,98 @@ class Session:
     closed: bool = False
 
 
-@dataclass
 class ServerStats:
-    """Aggregate server statistics (used by the workflow benchmarks)."""
+    """Aggregate server statistics (used by the workflow benchmarks).
 
-    sessions_opened: int = 0
-    sessions_closed: int = 0
-    queries_executed: int = 0
-    bytes_sent: int = 0
-    bytes_received: int = 0
-    errors: int = 0
-    #: Resilience counters: admission rejections, cooperative aborts, and
-    #: the connection failure modes the chaos suite exercises.
-    queries_rejected: int = 0
-    queries_cancelled: int = 0
-    queries_timed_out: int = 0
-    client_disconnects: int = 0
-    idle_disconnects: int = 0
-    #: Clients dropped for not reading a streamed result for longer than
-    #: ``ServerLimits.send_timeout`` (async front end backpressure guard).
-    stalled_disconnects: int = 0
-    wire_errors: int = 0
-    #: Queries that failed with a :class:`repro.errors.CorruptionError`
-    #: (quarantined rows touched, checksum mismatch surfaced mid-statement).
-    corruption_errors: int = 0
-    query_log: list[str] = field(default_factory=list)
+    Counters are incremented concurrently from handler threads, the query
+    worker pool, and the async front end's event loop, so every write goes
+    through the thread-safe :class:`~repro.obs.MetricsRegistry` backing via
+    :meth:`inc` — plain ``stats.x += 1`` (a lost-update race) raises
+    ``AttributeError``.  Reads keep the historical attribute surface:
+    ``stats.queries_executed`` returns the current counter value.
+
+    The per-statement query log is a *bounded* ring (``query_log_limit``
+    most recent statements); entries pushed out of a full ring are counted
+    in ``query_log_dropped`` rather than growing the list without limit.
+    """
+
+    #: Every named counter; writes outside :meth:`inc` are rejected.
+    COUNTER_NAMES = (
+        "sessions_opened",
+        "sessions_closed",
+        "queries_executed",
+        "bytes_sent",
+        "bytes_received",
+        "errors",
+        # resilience counters: admission rejections, cooperative aborts, and
+        # the connection failure modes the chaos suite exercises
+        "queries_rejected",
+        "queries_cancelled",
+        "queries_timed_out",
+        "client_disconnects",
+        "idle_disconnects",
+        # clients dropped for not reading a streamed result for longer than
+        # ``ServerLimits.send_timeout`` (async front end backpressure guard)
+        "stalled_disconnects",
+        "wire_errors",
+        # queries that failed with a :class:`repro.errors.CorruptionError`
+        # (quarantined rows touched, checksum mismatch mid-statement)
+        "corruption_errors",
+        # queries slower than the server's ``slow_query_ms`` threshold
+        "slow_queries",
+        # statements evicted from the bounded query log
+        "query_log_dropped",
+    )
+    _COUNTER_SET = frozenset(COUNTER_NAMES)
+
+    #: Default capacity of the bounded query log.
+    QUERY_LOG_LIMIT = 1_000
+
+    def __init__(self, *, registry: MetricsRegistry | None = None,
+                 query_log_limit: int = QUERY_LOG_LIMIT) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {name: self._registry.counter(name)
+                          for name in self.COUNTER_NAMES}
+        #: End-to-end request latency (execution + encode + handoff) seen by
+        #: the server, complementing the engine-side ``db.query_us``.
+        self._h_query = self._registry.histogram("query_us")
+        self.query_log: deque[str] = deque(maxlen=max(1, int(query_log_limit)))
+        self._log_lock = threading.Lock()
+
+    def __getattr__(self, name: str) -> int:
+        # only reached when normal attribute lookup fails: counters are not
+        # instance attributes precisely so reads land here
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in self._COUNTER_SET:
+            raise AttributeError(
+                f"ServerStats.{name} is a concurrent counter; use "
+                f"stats.inc({name!r}) instead of assignment")
+        super().__setattr__(name, value)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the named counter."""
+        self._counters[name].inc(amount)
+
+    def observe_query(self, seconds: float) -> None:
+        """Record one request's end-to-end latency."""
+        self._h_query.observe(seconds)
+
+    def log_query(self, sql: str) -> None:
+        """Append to the bounded query log, counting evicted entries."""
+        with self._log_lock:
+            log = self.query_log
+            if len(log) == log.maxlen:
+                self._counters["query_log_dropped"].inc()
+            log.append(sql)
 
     def counters(self) -> dict[str, int]:
-        """The integer counters as a flat dict (for the ``stats`` message)."""
-        return {
-            name: value for name, value in vars(self).items()
-            if isinstance(value, int) and not isinstance(value, bool)
-        }
+        """Counters plus latency quantiles as a flat dict (``stats`` message)."""
+        return self._registry.snapshot()
 
 
 @dataclass
@@ -236,7 +298,9 @@ class DatabaseServer:
                  default_user: str = "monetdb", default_password: str = "monetdb",
                  result_chunk_rows: int = DEFAULT_CHUNK_ROWS,
                  workers: int = 1, stream_results: bool = True,
-                 limits: ServerLimits | None = None) -> None:
+                 limits: ServerLimits | None = None,
+                 slow_query_ms: float | None = 500.0,
+                 slow_query_log_size: int = 64) -> None:
         self.database = database or Database(workers=workers)
         self.registry = registry or UserRegistry()
         self.result_chunk_rows = max(1, int(result_chunk_rows))
@@ -248,6 +312,15 @@ class DatabaseServer:
             self.registry.add_user(default_user, default_password,
                                    database=self.database.name)
         self.stats = ServerStats()
+        #: Queries slower than this (milliseconds, wall clock from request
+        #: to last response frame) land in :attr:`slow_query_log` with their
+        #: trace id and span breakdown.  ``None`` disables slow-query
+        #: tracking *and* per-query trace spans (the sampling policy: spans
+        #: are only recorded while a slow-query verdict needs them).
+        self.slow_query_ms = slow_query_ms
+        #: Bounded ring of the most recent slow queries (oldest drop off).
+        self.slow_query_log: "deque[dict[str, Any]]" = deque(
+            maxlen=max(1, int(slow_query_log_size)))
         self.limits = limits or ServerLimits()
         self.admission = AdmissionController(self.limits)
         #: Chaos-test hook: called with a named fault point (``"query_start"``,
@@ -277,7 +350,7 @@ class DatabaseServer:
                               cancel_key=secrets.token_hex(8))
             self._next_session += 1
             self._sessions[session.session_id] = session
-            self.stats.sessions_opened += 1
+            self.stats.inc("sessions_opened")
             return session
 
     def close_session(self, session: Session) -> None:
@@ -293,7 +366,7 @@ class DatabaseServer:
             session.closed = True
             self._sessions.pop(session.session_id, None)
             context = self._active_queries.get(session.session_id)
-            self.stats.sessions_closed += 1
+            self.stats.inc("sessions_closed")
         if context is not None:
             context.cancel("client disconnected")
         self._finish_query(session)
@@ -403,11 +476,11 @@ class DatabaseServer:
 
     def _error_response(self, exc: ReproError) -> dict[str, Any]:
         """Build the structured error frame for ``exc``, updating stats."""
-        self.stats.errors += 1
+        self.stats.inc("errors")
         if isinstance(exc, QueryTimeoutError):
-            self.stats.queries_timed_out += 1
+            self.stats.inc("queries_timed_out")
         if isinstance(exc, CorruptionError):
-            self.stats.corruption_errors += 1
+            self.stats.inc("corruption_errors")
         return error_message_for(exc)
 
     def _handle_stats(self, session: Session) -> dict[str, Any]:
@@ -415,7 +488,11 @@ class DatabaseServer:
         if not session.authenticated:
             raise AuthenticationError("not authenticated")
         return {"type": MSG_STATS_RESULT,
-                "stats": self.database.stats_snapshot()}
+                "stats": self.database.stats_snapshot(),
+                # the slow-query ring rides next to the flat counters: its
+                # entries are structured (spans, SQL text), so they cannot
+                # live inside the BIGINT-valued stats table itself
+                "slow_queries": list(self.slow_query_log)}
 
     def _handle_hello(self, session: Session, message: dict[str, Any]) -> dict[str, Any]:
         username = str(message.get("username", ""))
@@ -480,7 +557,7 @@ class DatabaseServer:
         found = context is not None
         if found:
             context.cancel("cancelled by client request")
-            self.stats.queries_cancelled += 1
+            self.stats.inc("queries_cancelled")
         return {"type": MSG_CANCELLED, "found": found}
 
     def _handle_prepare(self, session: Session,
@@ -545,10 +622,22 @@ class DatabaseServer:
                 raise ProtocolError("no transfer key available for encryption")
             encryption_key = session.transfer_key.hex()
 
-        context = QueryContext(timeout=self._effective_timeout(options))
+        # observability: while slow-query tracking is enabled every query
+        # carries a trace id and a span tree (the engine fills in its
+        # parse/plan/execute spans); the spans are only *surfaced* for
+        # queries that turn out slow — that is the sampling policy
+        started = time.perf_counter()
+        trace: TraceSpan | None = None
+        trace_id: str | None = None
+        if self.slow_query_ms is not None:
+            trace_id = new_trace_id()
+            trace = TraceSpan("query", start=started)
+        context = QueryContext(timeout=self._effective_timeout(options),
+                               trace_id=trace_id)
+        context.trace = trace
         rejection = self.admission.try_acquire()
         if rejection is not None:
-            self.stats.queries_rejected += 1
+            self.stats.inc("queries_rejected")
             reason = ("server is shutting down"
                       if rejection == ERR_SHUTTING_DOWN
                       else "server is saturated; retry with backoff")
@@ -563,35 +652,38 @@ class DatabaseServer:
                 result = self.database.execute_prepared(
                     prepared_name, prepared_args, context=context)
                 session.queries_executed += 1
-                self.stats.queries_executed += 1
-                self.stats.query_log.append(sql)
+                self.stats.inc("queries_executed")
+                self.stats.log_query(sql)
             elif session.protocol_version >= 4 and self.stream_results:
                 outcome = self.database.execute_stream(
                     sql, max_rows=chunk_rows, context=context)
                 session.queries_executed += 1
-                self.stats.queries_executed += 1
-                self.stats.query_log.append(sql)
+                self.stats.inc("queries_executed")
+                self.stats.log_query(sql)
                 if isinstance(outcome, StreamedResult):
                     stream = streamed_result_messages(
                         outcome.pieces(),
                         statement_type=outcome.statement_type,
                         affected_rows=outcome.affected_rows,
                         compression=compression, encryption_key=encryption_key,
-                        protocol_version=session.protocol_version)
+                        protocol_version=session.protocol_version,
+                        trace_id=trace_id)
                     # pull the header eagerly: plan preparation already ran
                     # and the first morsel is computed here, so early errors
                     # still become well-formed error responses
                     header = next(stream)
                     # the query slot stays held until the stream is drained
                     # (execution continues morsel-by-morsel underneath it)
-                    return self._release_after(session, itertools.chain(
-                        (header,), self._guarded_chunks(stream)))
+                    return self._observe_query(
+                        sql, trace, trace_id, started,
+                        self._release_after(session, itertools.chain(
+                            (header,), self._guarded_chunks(stream))))
                 result: QueryResult = outcome
             else:
                 result = self.database.execute(sql, context=context)
                 session.queries_executed += 1
-                self.stats.queries_executed += 1
-                self.stats.query_log.append(sql)
+                self.stats.inc("queries_executed")
+                self.stats.log_query(sql)
         except BaseException:
             self._finish_query(session)
             raise
@@ -603,21 +695,30 @@ class DatabaseServer:
             stream = columnar_result_messages(
                 result, chunk_rows=chunk_rows, compression=compression,
                 encryption_key=encryption_key,
-                protocol_version=session.protocol_version)
+                protocol_version=session.protocol_version,
+                trace_id=trace_id)
             # pull the header eagerly: buffer export (the fallible part of
             # encoding) happens here, so errors still become error responses
             header = next(stream)
-            return itertools.chain((header,), stream)
+            return self._observe_query(
+                sql, trace, trace_id, started,
+                itertools.chain((header,), stream),
+                known_rows=result.row_count)
 
         encoded = encode_result(result, compression=compression,
                                 encryption_key=encryption_key)
-        return ({
+        response = {
             "type": MSG_RESULT,
             "payload": encoded.blob,
             "compressed": encoded.compressed,
             "encrypted": encoded.encrypted,
             "stats": encoded.stats.as_dict(),
-        },)
+        }
+        if trace_id is not None:
+            response["trace_id"] = trace_id
+        return self._observe_query(sql, trace, trace_id, started,
+                                   iter((response,)),
+                                   known_rows=result.row_count)
 
     def _effective_timeout(self, options: dict[str, Any]) -> float | None:
         """Combine the client-requested timeout with the server-side cap."""
@@ -637,6 +738,78 @@ class DatabaseServer:
         hook = self.fault_hook
         if hook is not None:
             hook(point)
+
+    def _observe_query(self, sql: str, trace: "TraceSpan | None",
+                       trace_id: str | None, started: float,
+                       stream: Iterator[dict[str, Any]], *,
+                       known_rows: int | None = None
+                       ) -> Iterator[dict[str, Any]]:
+        """Relay response messages, then finish the query's observation.
+
+        Accumulates rows and payload bytes from the relayed frames — the
+        encode-and-send phase included — records the end-to-end latency in
+        the ``server.query_us`` histogram, and appends a slow-query entry
+        (trace id, SQL, span breakdown, transfer volume) when the query
+        exceeded ``slow_query_ms``.  The accounting runs in a ``finally``,
+        so streams abandoned by a vanishing client are still recorded.
+        """
+        rows = 0 if known_rows is None else max(0, int(known_rows))
+        payload_bytes = 0
+        respond_started = time.perf_counter()
+        finalized = False
+
+        def finalize() -> None:
+            nonlocal finalized
+            if finalized:
+                return
+            finalized = True
+            ended = time.perf_counter()
+            if trace is not None:
+                trace.add("respond", respond_started, ended)
+                trace.finish()
+            elapsed = ended - started
+            self.stats.observe_query(elapsed)
+            threshold = self.slow_query_ms
+            if threshold is not None and elapsed * 1000.0 >= threshold:
+                self.stats.inc("slow_queries")
+                self.slow_query_log.append({
+                    "trace_id": trace_id or "",
+                    "sql": sql,
+                    "duration_ms": round(elapsed * 1000.0, 3),
+                    "rows": rows,
+                    "bytes": payload_bytes,
+                    "spans": trace.breakdown() if trace is not None else [],
+                })
+
+        # a lazy transport may never pull past the terminal frame, so the
+        # observation is finalized just before yielding it (mirroring the
+        # early slot release in _release_after); the ``finally`` only covers
+        # streams abandoned mid-flight by a vanishing client
+        remaining: int | None = None
+        try:
+            for message in stream:
+                message_type = message.get("type")
+                if message_type == MSG_RESULT:
+                    chunk_count = message.get("chunk_count")
+                    if chunk_count is None:
+                        remaining = 0          # legacy v1 single-blob result
+                    elif int(chunk_count) >= 0:
+                        remaining = int(chunk_count)  # materialised columnar
+                    # streamed headers (-1): terminal chunk carries ``last``
+                elif message_type == MSG_RESULT_CHUNK:
+                    if known_rows is None:
+                        rows += max(0, int(message.get("row_count") or 0))
+                    if remaining is not None:
+                        remaining -= 1
+                payload = message.get("payload")
+                if payload is not None:
+                    payload_bytes += len(payload)
+                if (message.get("last") or remaining == 0
+                        or message_type == MSG_ERROR):
+                    finalize()
+                yield message
+        finally:
+            finalize()
 
     def _release_after(self, session: Session,
                        stream: Iterator[dict[str, Any]]
@@ -689,7 +862,7 @@ class DatabaseServer:
         decoding twice).
         """
         session.bytes_received += len(frame_payload)
-        self.stats.bytes_received += len(frame_payload)
+        self.stats.inc("bytes_received", len(frame_payload))
         try:
             request = message if message is not None \
                 else decode_message(frame_payload)
@@ -697,16 +870,16 @@ class DatabaseServer:
             # a well-framed but undecodable payload: framing is still in
             # sync, so answer with a structured error and keep the
             # connection usable
-            self.stats.wire_errors += 1
+            self.stats.inc("wire_errors")
             encoded = encode_message(self._error_response(exc))
             session.bytes_sent += len(encoded)
-            self.stats.bytes_sent += len(encoded)
+            self.stats.inc("bytes_sent", len(encoded))
             yield encoded
             return
         for response in self.handle_message_stream(session, request):
             encoded = encode_message(response)
             session.bytes_sent += len(encoded)
-            self.stats.bytes_sent += len(encoded)
+            self.stats.inc("bytes_sent", len(encoded))
             yield encoded
 
 
@@ -788,19 +961,19 @@ class _SocketHandler(socketserver.BaseRequestHandler):
                 except ConnectionLostError:
                     # EOF without a close message: the client hung up (a
                     # polite close exits on MSG_CLOSE before reading EOF)
-                    stats.client_disconnects += 1
+                    stats.inc("client_disconnects")
                     return
                 except (socket.timeout, TimeoutError):
-                    stats.idle_disconnects += 1
+                    stats.inc("idle_disconnects")
                     return
                 except WireFormatError as exc:
                     # frame-level garbage: the byte stream is desynchronised,
                     # so tell the client why (best effort) and hang up
-                    stats.wire_errors += 1
+                    stats.inc("wire_errors")
                     self._best_effort_error(stream, database_server, exc)
                     return
                 except OSError:
-                    stats.client_disconnects += 1
+                    stats.inc("client_disconnects")
                     return
                 try:
                     self.request.settimeout(limits.send_timeout)
@@ -815,7 +988,7 @@ class _SocketHandler(socketserver.BaseRequestHandler):
                     # the client went away (or stopped reading) while we were
                     # streaming result chunks; drop the connection quietly —
                     # closing the response generator frees the query slot
-                    stats.client_disconnects += 1
+                    stats.inc("client_disconnects")
                     return
                 try:
                     message = decode_message(payload)
@@ -1069,7 +1242,7 @@ class AsyncSocketServer:
             # unflushed output does not keep a connection alive: a client
             # that neither reads nor writes for idle_timeout is gone
             if now - conn.last_activity > timeout:
-                stats.idle_disconnects += 1
+                stats.inc("idle_disconnects")
                 self._drop(conn, None)
 
     # ------------------------------------------------------------------ #
@@ -1111,12 +1284,12 @@ class AsyncSocketServer:
         except (BlockingIOError, InterruptedError):
             return
         except OSError:
-            stats.client_disconnects += 1
+            stats.inc("client_disconnects")
             self._drop(conn, None)
             return
         if not data:
             if not conn.closing:
-                stats.client_disconnects += 1
+                stats.inc("client_disconnects")
             self._drop(conn, None)
             return
         conn.last_activity = time.monotonic()
@@ -1133,7 +1306,7 @@ class AsyncSocketServer:
                 # frame-level garbage: the stream is desynchronised — tell
                 # the client why (best effort) and hang up, like the
                 # threaded front end
-                server.stats.wire_errors += 1
+                server.stats.inc("wire_errors")
                 conn.recv_buffer.clear()
                 conn.closing = True  # hang up once the error frame flushes
                 self._enqueue_frames(
@@ -1147,7 +1320,7 @@ class AsyncSocketServer:
                 message = None  # handle_frame_stream answers it structurally
             if conn.busy:
                 if len(conn.pending) >= self.MAX_PIPELINED_FRAMES:
-                    server.stats.wire_errors += 1
+                    server.stats.inc("wire_errors")
                     self._drop(conn, None)
                     return
                 conn.pending.append((payload, message))
@@ -1169,7 +1342,7 @@ class AsyncSocketServer:
             if saturated:
                 # the worker pool (slots + queue) is full: reject here so
                 # a flood of queries cannot queue unboundedly behind it
-                server.stats.queries_rejected += 1
+                server.stats.inc("queries_rejected")
                 error = ServerBusyError(
                     "server is saturated; retry with backoff",
                     code=ERR_SATURATED)
@@ -1195,7 +1368,7 @@ class AsyncSocketServer:
                 except (BlockingIOError, InterruptedError):
                     break
                 except OSError:
-                    stats.client_disconnects += 1
+                    stats.inc("client_disconnects")
                     self._drop(conn, None)
                     return
                 conn.send_bytes -= sent
@@ -1326,7 +1499,7 @@ class AsyncSocketServer:
     def _stall_disconnect(self, conn: _AsyncConnection) -> None:
         """A client stopped reading mid-stream past ``send_timeout``: cancel
         its query and drop the connection so the slot frees immediately."""
-        self.database_server.stats.stalled_disconnects += 1
+        self.database_server.stats.inc("stalled_disconnects")
         self._call_soon(lambda: self._drop(conn, "stalled"))
 
     # ------------------------------------------------------------------ #
@@ -1442,6 +1615,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--statement-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="server-side cap on statement runtime")
+    parser.add_argument("--slow-query-ms", type=float, default=500.0,
+                        dest="slow_query_ms", metavar="MILLISECONDS",
+                        help="log queries slower than this to the bounded "
+                             "slow-query ring with their trace spans "
+                             "(0 disables; default: 500)")
     parser.add_argument("--idle-timeout", type=float,
                         default=ServerLimits.idle_timeout, metavar="SECONDS",
                         help="disconnect clients idle this long")
@@ -1506,7 +1684,8 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     database_server = DatabaseServer(
         database, default_user=args.user, default_password=args.password,
-        result_chunk_rows=args.chunk_rows, limits=limits)
+        result_chunk_rows=args.chunk_rows, limits=limits,
+        slow_query_ms=args.slow_query_ms if args.slow_query_ms > 0 else None)
     server_cls = (AsyncSocketServer if args.frontend == "async"
                   else SocketServer)
     socket_server = server_cls(database_server, host=args.host,

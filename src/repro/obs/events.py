@@ -1,0 +1,62 @@
+"""JSON-lines structured event log with sampled emission.
+
+One :class:`EventLog` serialises events — small flat dicts with an
+``event`` kind plus caller fields — as one JSON object per line, either to
+a caller-supplied stream or to a file opened lazily on first emit.  A
+``sample_every=N`` log keeps every Nth event of each kind; callers pass
+``force=True`` for events that must never be dropped (slow queries,
+errors).  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, IO
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Append-only JSON-lines event sink."""
+
+    def __init__(self, target: "str | IO[str] | None" = None, *,
+                 sample_every: int = 1) -> None:
+        self._path = target if isinstance(target, str) else None
+        self._stream: IO[str] | None = None if isinstance(target, str) else target
+        self._sample_every = max(1, int(sample_every))
+        self._lock = threading.Lock()
+        self._seen: dict[str, int] = {}
+        self.events_emitted = 0
+        self.events_sampled_out = 0
+
+    def _ensure_stream(self) -> "IO[str] | None":
+        if self._stream is None and self._path is not None:
+            self._stream = open(self._path, "a", encoding="utf-8")
+        return self._stream
+
+    def emit(self, event: str, *, force: bool = False, **fields: Any) -> bool:
+        """Emit one event; returns whether it was written (vs sampled out)."""
+        with self._lock:
+            seen = self._seen.get(event, 0)
+            self._seen[event] = seen + 1
+            if not force and seen % self._sample_every != 0:
+                self.events_sampled_out += 1
+                return False
+            stream = self._ensure_stream()
+            if stream is None:
+                return False
+            record: dict[str, Any] = {"ts": round(time.time(), 6),
+                                      "event": event}
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+            stream.flush()
+            self.events_emitted += 1
+            return True
+
+    def close(self) -> None:
+        with self._lock:
+            stream, self._stream = self._stream, None
+            if stream is not None and self._path is not None:
+                stream.close()  # only close streams we opened ourselves

@@ -271,9 +271,14 @@ class CopyInto(Statement):
 
 @dataclass
 class Explain(Statement):
-    """``EXPLAIN <select>`` — render the physical operator plan."""
+    """``EXPLAIN [ANALYZE] <select>`` — render the physical operator plan.
+
+    With ``ANALYZE`` the query is *executed* and each plan node is annotated
+    with its actual rows, batches and cumulative wall time.
+    """
 
     query: Select
+    analyze: bool = False
 
 
 @dataclass

@@ -27,12 +27,21 @@ class QueryContext:
     wins when both are given and tighter.  A context without either still
     provides cancellation points — the server attaches one to every query so
     a wire-level ``cancel`` can abort it mid-pipeline.
+
+    The context also carries the query's observability identity: a
+    ``trace_id`` (returned to clients in result headers for correlation)
+    and, when the front end decided to trace this query, the root
+    :class:`repro.obs.trace.TraceSpan` under which the engine records its
+    parse/plan/execute/encode phase boundaries.  Both default to ``None``
+    and cost nothing when unused.
     """
 
-    __slots__ = ("timeout", "deadline", "_cancelled", "_reason")
+    __slots__ = ("timeout", "deadline", "_cancelled", "_reason",
+                 "trace_id", "trace")
 
     def __init__(self, *, timeout: float | None = None,
-                 deadline: float | None = None) -> None:
+                 deadline: float | None = None,
+                 trace_id: str | None = None) -> None:
         self.timeout = None if timeout is None else max(0.0, float(timeout))
         if self.timeout is not None:
             timeout_deadline = time.monotonic() + self.timeout
@@ -41,6 +50,9 @@ class QueryContext:
         self.deadline = deadline
         self._cancelled = threading.Event()
         self._reason: str | None = None
+        self.trace_id = trace_id
+        #: Root span for this query's phase breakdown (``None`` = untraced).
+        self.trace = None
 
     @classmethod
     def resolve(cls, context: "QueryContext | None",

@@ -12,9 +12,12 @@ from __future__ import annotations
 import os
 import re
 import threading
+from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from ..errors import ExecutionError
+from ..obs import EventLog, MetricsRegistry
 from . import ast_nodes as ast
 from .cache import (
     CachedPlan,
@@ -48,6 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     )
 
 
+#: Entries kept in :attr:`Database.query_log` (oldest dropped first).
+QUERY_LOG_LIMIT = 10_000
+
+
 class Database:
     """An embedded, MonetDB-flavoured SQL database.
 
@@ -78,9 +85,23 @@ class Database:
                  wal_fsync_batch: int | None = None,
                  salvage: bool = False,
                  plan_cache: int = 128,
-                 result_cache_bytes: int = 0) -> None:
+                 result_cache_bytes: int = 0,
+                 observability: bool = True) -> None:
         self.name = name
         self.storage = Storage()
+        #: Engine-wide metrics (counters + latency histograms), default-on.
+        #: Metric names carry their full dotted prefix (``db.query_us``,
+        #: ``persist.wal_fsync_us``) so :meth:`stats_snapshot` merges the
+        #: registry snapshot directly.  ``observability=False`` turns every
+        #: observation into an early return (used by the ``obs_overhead``
+        #: benchmark to price the instrumentation itself).
+        self.metrics = MetricsRegistry(enabled=observability)
+        self._h_query = self.metrics.histogram("db.query_us")
+        self._h_parse = self.metrics.histogram("db.parse_us")
+        self._h_execute = self.metrics.histogram("db.execute_us")
+        #: Optional JSON-lines structured event sink (see
+        #: :meth:`configure_event_log`); ``None`` emits nothing.
+        self.event_log: EventLog | None = None
         #: LRU of parsed SELECT statements keyed by normalized SQL text —
         #: hot statements skip lexing/parsing.  ``plan_cache=0`` disables.
         self.plan_cache: PlanCache | None = \
@@ -98,12 +119,15 @@ class Database:
         self.scheduler = MorselScheduler(
             workers, morsel_rows=morsel_rows,
             parallel_threshold=parallel_threshold)
+        self.scheduler.bind_metrics(self.metrics)
         self._executor = Executor(self)
         self._lock = threading.RLock()
         #: Count of executed statements, used by the workflow simulators to
         #: report "server round trips".
         self.statements_executed = 0
-        self.query_log: list[str] = []
+        #: Recent SQL texts (bounded: a long-lived server must not leak one
+        #: string per query executed over its lifetime).
+        self.query_log: deque[str] = deque(maxlen=QUERY_LOG_LIMIT)
         #: Extra ``SHOW STATS`` sections: name -> zero-arg callable returning
         #: a flat ``{counter: int}`` dict.  The wire server registers its
         #: :class:`~repro.netproto.server.ServerStats` here so operators see
@@ -128,7 +152,7 @@ class Database:
                 path, self,
                 segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS,
                 fsync_batch=wal_fsync_batch or DEFAULT_FSYNC_BATCH,
-                salvage=salvage)
+                salvage=salvage, metrics=self.metrics)
             self.persistence.open()
             # recovery/salvage may have replayed mutations; start cold so a
             # cached plan or result can never outlive what was recovered
@@ -160,18 +184,38 @@ class Database:
         context = QueryContext.resolve(context, timeout)
         if parameters:
             sql = _apply_parameters(sql, parameters)
-        with self._lock:
-            self.statements_executed += 1
-            self.query_log.append(sql)
-            statement, cacheable = self._parse_cached(sql)
-            if cacheable is not None:
-                cached = self._result_cache_get(cacheable)
-                if cached is not None:
-                    return cached
-            result = self._executor.execute(statement, context=context)
-            if cacheable is not None:
-                self._result_cache_put(cacheable, result)
-            return result
+        trace = context.trace if context is not None else None
+        query_started = perf_counter()
+        try:
+            with self._lock:
+                self.statements_executed += 1
+                self.query_log.append(sql)
+                parse_started = perf_counter()
+                statement, cacheable = self._parse_cached(sql)
+                parse_ended = perf_counter()
+                self._h_parse.observe(parse_ended - parse_started)
+                if trace is not None:
+                    trace.add("parse", parse_started, parse_ended)
+                if cacheable is not None:
+                    cached = self._result_cache_get(cacheable)
+                    if cached is not None:
+                        return cached
+                run_started = perf_counter()
+                result = self._executor.execute(statement, context=context)
+                run_ended = perf_counter()
+                self._h_execute.observe(run_ended - run_started)
+                if trace is not None:
+                    trace.add("execute", run_started, run_ended)
+                if cacheable is not None:
+                    self._result_cache_put(cacheable, result)
+                return result
+        finally:
+            elapsed = perf_counter() - query_started
+            self._h_query.observe(elapsed)
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "query", sql=sql, us=int(elapsed * 1e6),
+                    trace_id=context.trace_id if context is not None else None)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script; returns one result per statement."""
@@ -203,24 +247,51 @@ class Database:
         complete :class:`QueryResult`, exactly like :meth:`execute`.
         """
         context = QueryContext.resolve(context, timeout)
-        with self._lock:
-            self.statements_executed += 1
-            self.query_log.append(sql)
-            statement, cacheable = self._parse_cached(sql)
-            if not isinstance(statement, ast.Select):
-                return self._executor.execute(statement, context=context)
-            if cacheable is not None:
-                cached = self._result_cache_get(cacheable)
-                if cached is not None:
-                    return cached
-            plan = self._executor.plan_select(statement, context=context)
-            if not plan.streamable:
-                result = plan.execute()
+        trace = context.trace if context is not None else None
+        query_started = perf_counter()
+        streamed = False
+        try:
+            with self._lock:
+                self.statements_executed += 1
+                self.query_log.append(sql)
+                parse_started = perf_counter()
+                statement, cacheable = self._parse_cached(sql)
+                parse_ended = perf_counter()
+                self._h_parse.observe(parse_ended - parse_started)
+                if trace is not None:
+                    trace.add("parse", parse_started, parse_ended)
+                if not isinstance(statement, ast.Select):
+                    return self._executor.execute(statement, context=context)
                 if cacheable is not None:
-                    self._result_cache_put(cacheable, result)
-                return result
-            plan.prepare()
-        return StreamedResult(plan, max_rows=max_rows)
+                    cached = self._result_cache_get(cacheable)
+                    if cached is not None:
+                        return cached
+                run_started = perf_counter()
+                plan = self._executor.plan_select(statement, context=context)
+                if not plan.streamable:
+                    result = plan.execute()
+                    run_ended = perf_counter()
+                    self._h_execute.observe(run_ended - run_started)
+                    if trace is not None:
+                        trace.add("execute", run_started, run_ended)
+                    if cacheable is not None:
+                        self._result_cache_put(cacheable, result)
+                    return result
+                plan.prepare()
+                run_ended = perf_counter()
+                # for a streamed SELECT only source binding + join builds run
+                # under the lock; the morsel phase is timed by the consumer
+                self._h_execute.observe(run_ended - run_started)
+                if trace is not None:
+                    trace.add("prepare", run_started, run_ended)
+            streamed = True
+            return StreamedResult(
+                plan, max_rows=max_rows,
+                on_complete=lambda: self._h_query.observe(
+                    perf_counter() - query_started))
+        finally:
+            if not streamed:
+                self._h_query.observe(perf_counter() - query_started)
 
     # ------------------------------------------------------------------ #
     # plan / result caches and prepared statements
@@ -376,10 +447,21 @@ class Database:
         context = QueryContext.resolve(context, timeout)
         statement = ast.ExecutePrepared(
             name, [ast.Literal(value) for value in arguments])
-        with self._lock:
-            self.statements_executed += 1
-            self.query_log.append(f"EXECUTE {name}")
-            return self._executor.execute(statement, context=context)
+        trace = context.trace if context is not None else None
+        query_started = perf_counter()
+        try:
+            with self._lock:
+                self.statements_executed += 1
+                self.query_log.append(f"EXECUTE {name}")
+                run_started = perf_counter()
+                result = self._executor.execute(statement, context=context)
+                run_ended = perf_counter()
+                self._h_execute.observe(run_ended - run_started)
+                if trace is not None:
+                    trace.add("execute", run_started, run_ended)
+                return result
+        finally:
+            self._h_query.observe(perf_counter() - query_started)
 
     def bind_prepared(self, prepared: PreparedStatement,
                       values: list[Any]) -> ast.Statement:
@@ -435,6 +517,16 @@ class Database:
         """Attach a named counters callable surfaced by ``SHOW STATS``."""
         self.stats_sources[name] = source
 
+    def configure_event_log(self, target: Any, *,
+                            sample_every: int = 1) -> EventLog:
+        """Attach a JSON-lines event sink (a path or an open text stream).
+
+        ``sample_every=N`` keeps every Nth event of each kind; callers that
+        emit directly can pass ``force=True`` for must-keep events.
+        """
+        self.event_log = EventLog(target, sample_every=sample_every)
+        return self.event_log
+
     def stats_snapshot(self) -> dict[str, int]:
         """Flat ``{qualified_counter: value}`` map for SHOW STATS / wire."""
         snapshot: dict[str, int] = {
@@ -445,6 +537,10 @@ class Database:
         if self.persistence is not None:
             for key, value in self.persistence.stats_snapshot().items():
                 snapshot[f"persist.{key}"] = value
+        # registry metric names already carry their dotted prefix
+        # (db.query_us_p50, persist.wal_fsync_us_p99, ...)
+        for key, value in self.metrics.snapshot().items():
+            snapshot[key] = int(value)
         for name, source in self.stats_sources.items():
             try:
                 counters = source()
@@ -469,6 +565,8 @@ class Database:
             if self.persistence is not None and not self.persistence.closed:
                 self.persistence.close(checkpoint=True)
         self.scheduler.shutdown()
+        if self.event_log is not None:
+            self.event_log.close()
 
     # ------------------------------------------------------------------ #
     # convenience helpers used throughout the reproduction
@@ -526,7 +624,8 @@ class StreamedResult:
     the wire server can emit a result header before execution finishes.
     """
 
-    def __init__(self, plan: Any, *, max_rows: int | None = None) -> None:
+    def __init__(self, plan: Any, *, max_rows: int | None = None,
+                 on_complete: Any = None) -> None:
         self.plan = plan
         self.statement_type = "SELECT"
         self.affected_rows = 0
@@ -534,7 +633,18 @@ class StreamedResult:
         #: passed neither a timeout nor a context) — the wire server
         #: registers it so a ``cancel`` message can abort the stream.
         self.context = plan.context
-        self._pieces = plan.stream_morsels(max_rows=max_rows)
+        pieces = plan.stream_morsels(max_rows=max_rows)
+        if on_complete is not None:
+            pieces = self._finalized(pieces, on_complete)
+        self._pieces = pieces
+
+    @staticmethod
+    def _finalized(pieces: Any, on_complete: Any) -> Any:
+        """Run ``on_complete`` once the stream ends (drained or abandoned)."""
+        try:
+            yield from pieces
+        finally:
+            on_complete()
 
     def __iter__(self) -> Any:
         return self._pieces

@@ -15,6 +15,7 @@ plan without running it.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -24,7 +25,7 @@ from . import ast_nodes as ast
 from .catalog import FunctionCatalog
 from .csvio import load_csv_into_table
 from .expressions import Batch, ExpressionEvaluator
-from .plan import Planner, SelectPlan
+from .plan import Planner, PlanMetrics, SelectPlan
 from .result import QueryResult, ResultColumn
 from .schema import ColumnDef, FunctionSignature, TableSchema
 from .storage import Storage, Table
@@ -73,7 +74,7 @@ class Executor:
         if isinstance(statement, ast.Select):
             return self.execute_select(statement, context=context)
         if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement)
+            return self._execute_explain(statement, context=context)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create_table(statement)
         if isinstance(statement, ast.DropTable):
@@ -235,14 +236,34 @@ class Executor:
     def plan_select(self, select: ast.Select, *,
                     context: "QueryContext | None" = None) -> SelectPlan:
         """Lower a SELECT into an executable physical plan."""
-        plan = self.planner.plan(select)
+        trace = context.trace if context is not None else None
+        if trace is None:
+            plan = self.planner.plan(select)
+        else:
+            started = perf_counter()
+            plan = self.planner.plan(select)
+            trace.add("plan", started, perf_counter())
         plan.context = context
         return plan
 
-    def _execute_explain(self, statement: ast.Explain) -> QueryResult:
-        lines = self.plan_select(statement.query).explain_lines()
+    def _execute_explain(self, statement: ast.Explain, *,
+                         context: "QueryContext | None" = None) -> QueryResult:
+        plan = self.plan_select(statement.query, context=context)
+        if not statement.analyze:
+            # plain EXPLAIN never executes the query
+            lines = plan.explain_lines()
+            column = ResultColumn("plan", SQLType.STRING, lines)
+            return QueryResult([column], statement_type="EXPLAIN")
+        plan.plan_metrics = PlanMetrics()
+        try:
+            started = perf_counter()
+            plan.execute()
+            elapsed = perf_counter() - started
+            lines = plan.analyze_lines(elapsed=elapsed)
+        finally:
+            plan.plan_metrics = None
         column = ResultColumn("plan", SQLType.STRING, lines)
-        return QueryResult([column], statement_type="EXPLAIN")
+        return QueryResult([column], statement_type="EXPLAIN ANALYZE")
 
     # ------------------------------------------------------------------ #
     # DDL / DML

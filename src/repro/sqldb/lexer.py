@@ -33,7 +33,7 @@ KEYWORDS = {
     "CREATE", "OR", "REPLACE", "TABLE", "DROP", "IF", "INSERT", "INTO", "VALUES",
     "DELETE", "UPDATE", "SET", "FUNCTION", "RETURNS", "LANGUAGE", "JOIN", "INNER",
     "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "TRUE", "FALSE", "COPY", "DELIMITERS",
-    "HEADER", "UNION", "ALL", "NOT", "EXPLAIN", "CHECKPOINT",
+    "HEADER", "UNION", "ALL", "NOT", "EXPLAIN", "ANALYZE", "CHECKPOINT",
     "VERIFY", "BACKUP", "TO", "SHOW", "STATS",
     "PREPARE", "EXECUTE", "DEALLOCATE",
 }

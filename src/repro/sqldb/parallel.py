@@ -53,6 +53,14 @@ class MorselScheduler:
         self.parallel_threshold = max(0, int(parallel_threshold))
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        # observability counters, bound by the owning Database (optional)
+        self._c_morsels = None
+        self._c_pooled = None
+
+    def bind_metrics(self, registry) -> None:  # type: ignore[no-untyped-def]
+        """Register scheduler counters on the engine's metrics registry."""
+        self._c_morsels = registry.counter("db.morsels_executed")
+        self._c_pooled = registry.counter("db.morsels_pooled")
 
     # ------------------------------------------------------------------ #
     # splitting policy
@@ -121,8 +129,12 @@ class MorselScheduler:
         """
         items = list(items)
         fn = self._checked(fn, context)
+        if self._c_morsels is not None:
+            self._c_morsels.inc(len(items))
         if not self.parallel or len(items) < 2:
             return [fn(item) for item in items]
+        if self._c_pooled is not None:
+            self._c_pooled.inc(len(items))
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
@@ -141,10 +153,14 @@ class MorselScheduler:
         """
         items = list(items)
         fn = self._checked(fn, context)
+        if self._c_morsels is not None:
+            self._c_morsels.inc(len(items))
         if not self.parallel or len(items) < 2:
             for item in items:
                 yield fn(item)
             return
+        if self._c_pooled is not None:
+            self._c_pooled.inc(len(items))
         pool = self._ensure_pool()
         futures = [pool.submit(fn, item) for item in items]
         try:

@@ -148,7 +148,8 @@ class Parser:
             return self._parse_deallocate()
         if token.is_keyword("EXPLAIN"):
             self.advance()
-            return ast.Explain(self.parse_select())
+            analyze = self.accept_keyword("ANALYZE")
+            return ast.Explain(self.parse_select(), analyze=analyze)
         if token.is_keyword("SELECT"):
             return self.parse_select()
         if token.is_keyword("CREATE"):

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any
 from dataclasses import dataclass
 
 from ...errors import CorruptionError, PersistenceError
+from ...obs import MetricsRegistry, NULL_REGISTRY
 from . import faults
 from .checkpoint import (
     BackupStats,
@@ -109,7 +110,8 @@ class PersistentStore:
                  codec: str = DEFAULT_CODEC,
                  fsync_batch: int = DEFAULT_FSYNC_BATCH,
                  salvage: bool = False,
-                 fs: faults.FileSystem | None = None) -> None:
+                 fs: faults.FileSystem | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.path = Path(path)
         self.database = database
         self.segment_rows = max(1, int(segment_rows))
@@ -117,8 +119,11 @@ class PersistentStore:
         self.generation = 0
         self.salvage = bool(salvage)
         self._fs = fs
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._h_checkpoint = registry.histogram("persist.checkpoint_us")
         self.wal = WriteAheadLog(wal_path_for(self.path),
-                                 fsync_batch=fsync_batch, fs=fs)
+                                 fsync_batch=fsync_batch, fs=fs,
+                                 metrics=metrics)
         self.last_recovery: RecoveryReport | None = None
         self.last_checkpoint: CheckpointStats | None = None
         self.last_verify: "VerifyReport | None" = None
@@ -254,6 +259,7 @@ class PersistentStore:
             raise
         self.generation = stats.generation
         self.last_checkpoint = stats
+        self._h_checkpoint.observe(stats.seconds)
         return stats
 
     # ------------------------------------------------------------------ #

@@ -44,11 +44,15 @@ class CheckpointStats:
     rows: int
     file_bytes: int
     wal_records_truncated: int
+    #: Time spent writing + fsyncing the temp image (the bulk of the work;
+    #: the remainder of ``seconds`` is the atomic swap + WAL reset).
+    prepare_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, float | int]:
         return {
             "generation": self.generation,
             "seconds": round(self.seconds, 6),
+            "prepare_seconds": round(self.prepare_seconds, 6),
             "tables": self.tables,
             "segments": self.segments,
             "rows": self.rows,
@@ -71,6 +75,8 @@ class PreparedCheckpoint:
     tmp_path: Path
     stats: format_mod.WriteStats
     started: float
+    #: ``perf_counter`` reading when the temp image finished (fsync done).
+    prepared_at: float = 0.0
 
 
 def prepare_checkpoint(path: str | os.PathLike[str], database: "Database", *,
@@ -112,7 +118,8 @@ def prepare_checkpoint(path: str | os.PathLike[str], database: "Database", *,
             ) from exc
         raise
     return PreparedCheckpoint(generation=generation, tmp_path=tmp_path,
-                              stats=stats, started=started)
+                              stats=stats, started=started,
+                              prepared_at=time.perf_counter())
 
 
 def _quarantined_tables(database: "Database") -> set[str]:
@@ -165,6 +172,7 @@ def reset_wal(prepared: PreparedCheckpoint,
         rows=stats.rows,
         file_bytes=stats.file_bytes,
         wal_records_truncated=truncated,
+        prepare_seconds=max(0.0, prepared.prepared_at - prepared.started),
     )
 
 

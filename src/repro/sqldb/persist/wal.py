@@ -47,8 +47,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from time import perf_counter
+
 from ...errors import PersistenceError
 from ...netproto.wire import decode_value, encode_value
+from ...obs import MetricsRegistry, NULL_REGISTRY
 from . import faults
 from .records import pack_mask, unpack_mask  # noqa: F401  (record-level API)
 
@@ -153,7 +156,8 @@ class WriteAheadLog:
 
     def __init__(self, path: str | os.PathLike[str], *,
                  fsync_batch: int = DEFAULT_FSYNC_BATCH,
-                 fs: faults.FileSystem | None = None) -> None:
+                 fs: faults.FileSystem | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.path = Path(path)
         self.fsync_batch = max(1, int(fsync_batch))
         self._file: Any = None
@@ -161,6 +165,10 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self.records_appended = 0
         self._fs = fs
+        # latency histograms (no-ops on the default disabled registry)
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._h_append = registry.histogram("persist.wal_append_us")
+        self._h_fsync = registry.histogram("persist.wal_fsync_us")
         #: Set to the failure reason after an fsync the disk rejected.  A
         #: failed fsync leaves the page cache in an unknown state — the
         #: kernel may already have dropped the dirty pages — so retrying it
@@ -287,6 +295,7 @@ class WriteAheadLog:
                 raise PersistenceError(
                     f"WAL {self.path} is closed (database was closed?)")
             self._check_usable()
+            append_started = perf_counter()
             group_start = self._file.tell()
             written = 0
             counted = False
@@ -312,6 +321,9 @@ class WriteAheadLog:
                 counted = True
                 if self._pending >= self.fsync_batch:
                     self._sync()
+                # append latency includes the batch fsync when this group
+                # triggered one — that is the latency a committer saw
+                self._h_append.observe(perf_counter() - append_started)
             except BaseException as exc:
                 if counted:
                     self.records_appended -= written
@@ -360,6 +372,7 @@ class WriteAheadLog:
                     self._sync()
 
     def _sync(self) -> None:
+        sync_started = perf_counter()
         try:
             self.fs.fsync(self._file)
         except OSError as exc:
@@ -368,4 +381,5 @@ class WriteAheadLog:
                 f"WAL {self.path}: fsync to stable storage failed ({exc}); "
                 "the log is sealed — a retry against the dirty page cache "
                 "could claim durability the disk never confirmed") from exc
+        self._h_fsync.observe(perf_counter() - sync_started)
         self._pending = 0

@@ -26,6 +26,8 @@ also renders itself (:meth:`SelectPlan.explain_lines`) for ``EXPLAIN``.
 
 from __future__ import annotations
 
+import threading
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..errors import CatalogError, ExecutionError
@@ -266,6 +268,46 @@ class Planner:
 
 
 # --------------------------------------------------------------------------- #
+# per-operator actuals (EXPLAIN ANALYZE)
+# --------------------------------------------------------------------------- #
+class PlanMetrics:
+    """Actual rows / batches / wall time per plan node, one execution.
+
+    Morsels run concurrently on the worker pool, so every sample — one
+    ``(rows, batches, seconds)`` increment per operator per morsel — is
+    merged under a single lock keyed by operator identity.  Wall times are
+    *cumulative across workers*: with ``workers=4`` an operator's ``time``
+    can legitimately exceed the query's elapsed time.
+    """
+
+    __slots__ = ("_lock", "_stats")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: ``id(operator) -> [rows, batches, seconds]``
+        self._stats: dict[int, list[Any]] = {}
+
+    def record(self, operator: PhysicalOperator, rows: int, seconds: float,
+               batches: int = 1) -> None:
+        key = id(operator)
+        with self._lock:
+            entry = self._stats.get(key)
+            if entry is None:
+                self._stats[key] = [rows, batches, seconds]
+            else:
+                entry[0] += rows
+                entry[1] += batches
+                entry[2] += seconds
+
+    def stats_for(self, operator: PhysicalOperator
+                  ) -> tuple[int, int, float] | None:
+        entry = self._stats.get(id(operator))
+        if entry is None:
+            return None
+        return entry[0], entry[1], entry[2]
+
+
+# --------------------------------------------------------------------------- #
 # the plan driver
 # --------------------------------------------------------------------------- #
 class SelectPlan:
@@ -289,6 +331,11 @@ class SelectPlan:
         #: unchecked (the pre-resilience behaviour).  Set by the executor
         #: before :meth:`prepare`.
         self.context: "QueryContext | None" = None
+        #: Per-operator actuals collector (EXPLAIN ANALYZE).  ``None`` — the
+        #: default — takes the untimed hot paths; the executor installs a
+        #: fresh :class:`PlanMetrics` for one instrumented run and clears it
+        #: afterwards (plans can be cached and re-run bare).
+        self.plan_metrics: PlanMetrics | None = None
         self._prepared = False
         self.root = self._link_tree()
 
@@ -351,7 +398,15 @@ class SelectPlan:
                 self._prepare_pipeline(stage.build_source, stage.build_stages)
                 right_batch = self._run_pipeline_whole(stage.build_source,
                                                        stage.build_stages)
-                template = stage.prepare(template, right_batch)
+                if self.plan_metrics is None:
+                    template = stage.prepare(template, right_batch)
+                else:
+                    started = perf_counter()
+                    template = stage.prepare(template, right_batch)
+                    # build time counts toward the join, but not as a batch:
+                    # ``batches`` stays the number of probed morsels
+                    self.plan_metrics.record(stage, 0,
+                                             perf_counter() - started, 0)
             # Filter is schema-preserving: the template passes through
             # unevaluated (predicates only run over real morsels)
         return template
@@ -394,8 +449,8 @@ class SelectPlan:
         """Materialise a build-side pipeline as one batch (single morsel)."""
         outputs: list[Batch] = []
         deferred: dict[int, list[Batch]] = {}
-        batch = source.batch_slice(0, source.row_count)
-        outputs.append(self._push_stages(batch, stages, 0, deferred))
+        batch = self._scan_slice(source, 0, source.row_count)
+        outputs.append(self._push(batch, stages, 0, deferred))
         self._flush_deferred(stages, deferred, outputs)
         return concat_batches(outputs)
 
@@ -418,6 +473,56 @@ class SelectPlan:
                 batch = stage.process(batch)
         return batch
 
+    def _push_stages_timed(self, batch: Batch,
+                           stages: Sequence[PhysicalOperator],
+                           from_index: int,
+                           deferred: dict[int, list[Batch]]) -> Batch:
+        """:meth:`_push_stages` recording per-stage rows/batches/time."""
+        metrics = self.plan_metrics
+        assert metrics is not None
+        for index in range(from_index, len(stages)):
+            stage = stages[index]
+            started = perf_counter()
+            if isinstance(stage, HashJoin):
+                batch, extra = stage.probe(batch)
+                if extra is not None:
+                    deferred.setdefault(index, []).append(extra)
+            else:
+                batch = stage.process(batch)
+            metrics.record(stage, batch.row_count, perf_counter() - started)
+        return batch
+
+    def _push(self, batch: Batch, stages: Sequence[PhysicalOperator],
+              from_index: int, deferred: dict[int, list[Batch]]) -> Batch:
+        if self.plan_metrics is None:
+            return self._push_stages(batch, stages, from_index, deferred)
+        return self._push_stages_timed(batch, stages, from_index, deferred)
+
+    def _scan_slice(self, source: Scan, start: int, stop: int) -> Batch:
+        metrics = self.plan_metrics
+        if metrics is None:
+            return source.batch_slice(start, stop)
+        started = perf_counter()
+        batch = source.batch_slice(start, stop)
+        metrics.record(source, batch.row_count, perf_counter() - started)
+        return batch
+
+    def _morsel_batch(self, span: tuple[int, int],
+                      deferred: dict[int, list[Batch]]) -> Batch:
+        """Scan one morsel and push it through the full stage chain."""
+        return self._push(self._scan_slice(self.source, *span),
+                          self.stages, 0, deferred)
+
+    def _project_piece(self, sink: Project,
+                       batch: Batch) -> tuple[QueryResult, bool]:
+        metrics = self.plan_metrics
+        if metrics is None:
+            return sink.project(batch)
+        started = perf_counter()
+        piece, constant = sink.project(batch)
+        metrics.record(sink, piece.row_count, perf_counter() - started)
+        return piece, constant
+
     def _flush_deferred(self, stages: Sequence[PhysicalOperator],
                         deferred: dict[int, list[Batch]],
                         outputs: list[Batch]) -> None:
@@ -430,7 +535,7 @@ class SelectPlan:
             if extras:
                 batch = concat_batches(extras)
                 outputs.append(
-                    self._push_stages(batch, stages, index + 1, deferred))
+                    self._push(batch, stages, index + 1, deferred))
 
     # -- execution ---------------------------------------------------------- #
     def _split_ranges(self, max_rows: int | None = None
@@ -467,11 +572,25 @@ class SelectPlan:
             # last checkpoint before the pipeline breakers (sort etc.) run
             self.context.check()
         if self.distinct is not None:
-            result = self.distinct.apply(result)
+            result = self._apply_breaker(
+                self.distinct, lambda: self.distinct.apply(result))
         if self.sort is not None:
-            result = self.sort.apply(result, concat_batches(out_batches))
+            result = self._apply_breaker(
+                self.sort,
+                lambda: self.sort.apply(result, concat_batches(out_batches)))
         if self.limit is not None:
-            result = self.limit.apply(result)
+            result = self._apply_breaker(
+                self.limit, lambda: self.limit.apply(result))
+        return result
+
+    def _apply_breaker(self, operator: PhysicalOperator,
+                       apply: Any) -> QueryResult:
+        metrics = self.plan_metrics
+        if metrics is None:
+            return apply()
+        started = perf_counter()
+        result = apply()
+        metrics.record(operator, result.row_count, perf_counter() - started)
         return result
 
     def _run_projection(self, ranges: list[tuple[int, int]],
@@ -488,9 +607,8 @@ class SelectPlan:
         def task(span: tuple[int, int]
                  ) -> tuple[QueryResult, bool, Batch, dict[int, list[Batch]]]:
             deferred: dict[int, list[Batch]] = {}
-            batch = self._push_stages(self.source.batch_slice(*span),
-                                      stages, 0, deferred)
-            piece, constant = sink.project(batch)
+            batch = self._morsel_batch(span, deferred)
+            piece, constant = self._project_piece(sink, batch)
             return piece, constant, batch, deferred
 
         pieces: list[QueryResult] = []
@@ -520,7 +638,7 @@ class SelectPlan:
             flush_batches: list[Batch] = []
             self._flush_deferred(stages, deferred, flush_batches)
             for batch in flush_batches:
-                piece, _ = sink.project(batch)
+                piece, _ = self._project_piece(sink, batch)
                 pieces.append(piece)
                 if keep_batches:
                     out_batches.append(batch)
@@ -533,12 +651,22 @@ class SelectPlan:
         assert isinstance(sink, HashAggregate)
         stages = self.stages
         use_partial = sink.mode == "partial" and len(ranges) > 1
+        metrics = self.plan_metrics
 
         def task(span: tuple[int, int]) -> tuple[Any, dict[int, list[Batch]]]:
             deferred: dict[int, list[Batch]] = {}
-            batch = self._push_stages(self.source.batch_slice(*span),
-                                      stages, 0, deferred)
-            payload = sink.morsel_state(batch) if use_partial else batch
+            batch = self._morsel_batch(span, deferred)
+            if use_partial:
+                if metrics is None:
+                    payload = sink.morsel_state(batch)
+                else:
+                    started = perf_counter()
+                    payload = sink.morsel_state(batch)
+                    # one partial state per morsel; output rows come from
+                    # the merge below, so only batches/time accrue here
+                    metrics.record(sink, 0, perf_counter() - started)
+            else:
+                payload = batch
             return payload, deferred
 
         payloads: list[Any] = []
@@ -557,11 +685,24 @@ class SelectPlan:
                                  for batch in flush_batches]
             if keep_batches:
                 out_batches.extend(state.batch for state in states)
-            return sink.finish_partial(states)
+            if metrics is None:
+                return sink.finish_partial(states)
+            started = perf_counter()
+            result = sink.finish_partial(states)
+            # the merge produces the operator's output rows; batches were
+            # already counted one per partial state above
+            metrics.record(sink, result.row_count,
+                           perf_counter() - started, 0)
+            return result
         batches = payloads + flush_batches
         if keep_batches:
             out_batches.extend(batches)
-        return sink.finish_sequential(concat_batches(batches))
+        if metrics is None:
+            return sink.finish_sequential(concat_batches(batches))
+        started = perf_counter()
+        result = sink.finish_sequential(concat_batches(batches))
+        metrics.record(sink, result.row_count, perf_counter() - started)
+        return result
 
     # -- streaming ---------------------------------------------------------- #
     def stream_morsels(self, *, max_rows: int | None = None
@@ -583,9 +724,8 @@ class SelectPlan:
         def task(span: tuple[int, int]
                  ) -> tuple[QueryResult, bool, dict[int, list[Batch]]]:
             deferred: dict[int, list[Batch]] = {}
-            batch = self._push_stages(self.source.batch_slice(*span),
-                                      stages, 0, deferred)
-            piece, constant = sink.project(batch)
+            batch = self._morsel_batch(span, deferred)
+            piece, constant = self._project_piece(sink, batch)
             return piece, constant, deferred
 
         def clip(piece: QueryResult) -> QueryResult | None:
@@ -630,7 +770,7 @@ class SelectPlan:
             flush_batches: list[Batch] = []
             self._flush_deferred(stages, deferred, flush_batches)
             for batch in flush_batches:
-                piece, _ = sink.project(batch)
+                piece, _ = self._project_piece(sink, batch)
                 clipped = clip(piece)
                 if clipped is not None:
                     yield clipped
@@ -659,6 +799,37 @@ class SelectPlan:
         lines.append(f"-- workers={scheduler.workers} "
                      f"morsel_rows={scheduler.morsel_rows} "
                      f"parallel_safe={safety}")
+        return lines
+
+    def analyze_lines(self, *, elapsed: float) -> list[str]:
+        """Render the executed tree annotated with per-operator actuals.
+
+        Requires :attr:`plan_metrics` to have been installed before the
+        plan ran.  Operators that never saw a batch (e.g. pruned by an
+        early LIMIT stop) carry no annotation.
+        """
+        self._estimate_scans()
+        metrics = self.plan_metrics
+        lines: list[str] = []
+
+        def render(node: PhysicalOperator, depth: int) -> None:
+            text = node.describe()
+            stats = metrics.stats_for(node) if metrics is not None else None
+            if stats is not None:
+                rows, batches, seconds = stats
+                text += (f" (actual rows={rows} batches={batches} "
+                         f"time={seconds * 1000.0:.3f}ms)")
+            lines.append("  " * depth + text)
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        scheduler = self.scheduler
+        safety = "yes" if self.parallel_safe else "no"
+        lines.append(f"-- workers={scheduler.workers} "
+                     f"morsel_rows={scheduler.morsel_rows} "
+                     f"parallel_safe={safety} "
+                     f"total_time={elapsed * 1000.0:.3f}ms")
         return lines
 
     def _estimate_scans(self) -> None:

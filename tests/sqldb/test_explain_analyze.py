@@ -1,0 +1,167 @@
+"""EXPLAIN ANALYZE: instrumented execution with per-operator actuals.
+
+The annotations must be *correct*, not just present: at ``workers=1`` the
+recorded rows match the sequential whole-batch execution exactly, and at
+``workers=4`` the per-morsel samples must merge to the same row totals with
+the batch count equal to the number of morsels.
+"""
+
+import re
+
+import pytest
+
+from repro.sqldb import Database
+
+
+def _make_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE t (i INTEGER, v DOUBLE, s VARCHAR)")
+    values = ", ".join(f"({i}, {i * 0.5}, 'k{i % 7}')" for i in range(400))
+    db.execute(f"INSERT INTO t VALUES {values}")
+    return db
+
+
+def _analyze_lines(db, sql):
+    result = db.execute(f"EXPLAIN ANALYZE {sql}")
+    assert result.statement_type == "EXPLAIN ANALYZE"
+    column = result.columns[0]
+    assert column.name == "plan"
+    return [str(value) for value in column.values]
+
+
+_ACTUAL = re.compile(
+    r"\(actual rows=(\d+) batches=(\d+) time=([0-9.]+)ms\)")
+
+
+def _actuals(lines):
+    """Map operator-line prefix -> (rows, batches) for annotated lines."""
+    out = {}
+    for line in lines:
+        match = _ACTUAL.search(line)
+        if match:
+            prefix = line[:match.start()].strip()
+            out[prefix] = (int(match.group(1)), int(match.group(2)))
+    return out
+
+
+class TestExplainAnalyzeSequential:
+    def test_scan_filter_project_actuals(self):
+        db = _make_db(workers=1)
+        lines = _analyze_lines(db, "SELECT i, v FROM t WHERE v > 100")
+        actuals = _actuals(lines)
+        # 400 rows scanned; v > 100 keeps i in 201..399 => 199 rows
+        by_op = {name.split(" ")[0]: counts
+                 for name, counts in actuals.items()}
+        assert by_op["Scan"] == (400, 1)
+        assert by_op["Filter"] == (199, 1)
+        assert by_op["Project"] == (199, 1)
+
+    def test_total_time_footer(self):
+        db = _make_db(workers=1)
+        lines = _analyze_lines(db, "SELECT i FROM t")
+        assert lines[-1].startswith("-- workers=1")
+        assert "total_time=" in lines[-1]
+
+    def test_aggregate_actual_rows(self):
+        db = _make_db(workers=1)
+        lines = _analyze_lines(
+            db, "SELECT s, COUNT(*) FROM t GROUP BY s")
+        actuals = _actuals(lines)
+        agg = next(counts for name, counts in actuals.items()
+                   if name.startswith("HashAggregate"))
+        assert agg == (7, 1)  # 7 groups, one sequential batch
+
+    def test_time_is_nonnegative(self):
+        db = _make_db(workers=1)
+        lines = _analyze_lines(db, "SELECT i FROM t WHERE v > 0")
+        for line in lines:
+            match = _ACTUAL.search(line)
+            if match:
+                assert float(match.group(3)) >= 0.0
+
+
+class TestExplainAnalyzeParallel:
+    def test_morsel_samples_sum_to_sequential_rows(self):
+        # force 10 morsels of 40 rows
+        db = _make_db(workers=4, morsel_rows=40, parallel_threshold=1)
+        lines = _analyze_lines(db, "SELECT i, v FROM t WHERE v > 100")
+        actuals = _actuals(lines)
+        by_op = {name.split(" ")[0]: counts
+                 for name, counts in actuals.items()}
+        # row totals identical to sequential; batches = morsel count
+        assert by_op["Scan"] == (400, 10)
+        assert by_op["Filter"] == (199, 10)
+        assert by_op["Project"] == (199, 10)
+
+    def test_parallel_aggregate_merges_morsel_batches(self):
+        db = _make_db(workers=4, morsel_rows=40, parallel_threshold=1)
+        lines = _analyze_lines(
+            db, "SELECT s, COUNT(*), SUM(v) FROM t GROUP BY s")
+        actuals = _actuals(lines)
+        agg = next(counts for name, counts in actuals.items()
+                   if name.startswith("HashAggregate"))
+        assert agg[0] == 7       # group count unchanged by parallelism
+        assert agg[1] == 10      # one partial state per morsel
+
+    def test_analyze_result_rows_match_plain_select(self):
+        db = _make_db(workers=4, morsel_rows=40, parallel_threshold=1)
+        plain = db.execute("SELECT COUNT(*) FROM t WHERE v > 100")
+        assert list(plain.rows()) == [(199,)]
+        # running EXPLAIN ANALYZE must not disturb later executions
+        _analyze_lines(db, "SELECT COUNT(*) FROM t WHERE v > 100")
+        again = db.execute("SELECT COUNT(*) FROM t WHERE v > 100")
+        assert list(again.rows()) == [(199,)]
+
+
+class TestExplainAnalyzeJoin:
+    @pytest.fixture()
+    def db(self):
+        db = Database(workers=4, morsel_rows=40, parallel_threshold=1)
+        db.execute("CREATE TABLE l (k INTEGER, v DOUBLE)")
+        db.execute("CREATE TABLE r (k INTEGER, name VARCHAR)")
+        db.execute("INSERT INTO l VALUES " +
+                   ", ".join(f"({i % 5}, {i * 1.0})" for i in range(200)))
+        db.execute("INSERT INTO r VALUES " +
+                   ", ".join(f"({i}, 'n{i}')" for i in range(5)))
+        return db
+
+    def test_join_probe_rows_recorded(self, db):
+        lines = _analyze_lines(
+            db, "SELECT l.v, r.name FROM l JOIN r ON l.k = r.k")
+        actuals = _actuals(lines)
+        join = next(counts for name, counts in actuals.items()
+                    if name.startswith("HashJoin"))
+        assert join[0] == 200  # every probe row matches
+
+
+class TestPlainExplainUnchanged:
+    def test_plain_explain_has_no_actuals(self):
+        db = _make_db(workers=1)
+        result = db.execute("SELECT i FROM t")  # warm anything lazily
+        assert result.row_count == 400
+        explain = db.execute("EXPLAIN SELECT i FROM t WHERE v > 100")
+        assert explain.statement_type == "EXPLAIN"
+        for value in explain.columns[0].values:
+            assert "actual" not in str(value)
+
+    def test_plain_explain_still_does_not_execute(self):
+        db = Database(workers=1)
+        db.execute("CREATE TABLE q (x INTEGER)")
+        db.execute("INSERT INTO q VALUES (1)")
+        calls = {"n": 0}
+        original = db.scheduler.map
+
+        def counting_map(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        db.scheduler.map = counting_map
+        db.execute("EXPLAIN SELECT x FROM q")
+        assert calls["n"] == 0
+
+    def test_analyze_still_usable_as_identifier(self):
+        db = Database()
+        db.execute("CREATE TABLE w (analyze INTEGER)")
+        db.execute("INSERT INTO w VALUES (42)")
+        result = db.execute("SELECT analyze FROM w")
+        assert list(result.rows()) == [(42,)]
